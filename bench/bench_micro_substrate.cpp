@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks for the substrates: autodiff ops,
+// embedding-bag forward/backward, dense retrieval top-k, tokenizer +
+// feature hashing, ROUGE, and the meta reweighting step.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "model/bi_encoder.h"
+#include "retrieval/dense_index.h"
+#include "tensor/graph.h"
+#include "text/feature_hashing.h"
+#include "text/rouge.h"
+#include "text/tokenizer.h"
+#include "train/meta_trainer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace metablink;
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  util::Rng rng(1);
+  tensor::ParameterStore store;
+  tensor::Parameter* w = store.CreateXavier("w", n, n, &rng);
+  tensor::Tensor x(n, n);
+  for (float& v : x.data()) v = rng.NextFloat(-1, 1);
+  for (auto _ : state) {
+    tensor::Graph g;
+    auto out = g.MatMul(g.Input(x), g.Param(w));
+    benchmark::DoNotOptimize(g.value(out).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EmbeddingBagForwardBackward(benchmark::State& state) {
+  const std::size_t bags = state.range(0);
+  util::Rng rng(2);
+  tensor::ParameterStore store;
+  tensor::Parameter* table = store.CreateEmbedding("t", 16384, 64, 0.1f, &rng);
+  std::vector<std::vector<std::uint32_t>> bag_ids(bags);
+  for (auto& bag : bag_ids) {
+    for (int i = 0; i < 300; ++i) {
+      bag.push_back(static_cast<std::uint32_t>(rng.NextUint64(16384)));
+    }
+  }
+  for (auto _ : state) {
+    tensor::Graph g;
+    auto loss = g.Mean(g.Tanh(g.EmbeddingBagMean(table, bag_ids)));
+    store.ZeroGrads();
+    g.Backward(loss);
+    benchmark::DoNotOptimize(table->grad.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * bags * 300);
+}
+BENCHMARK(BM_EmbeddingBagForwardBackward)->Arg(8)->Arg(32);
+
+void BM_RetrievalTopK(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  util::Rng rng(3);
+  tensor::Tensor emb(n, 64);
+  for (float& v : emb.data()) v = rng.NextFloat(-1, 1);
+  std::vector<kb::EntityId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<kb::EntityId>(i);
+  retrieval::DenseIndex index;
+  (void)index.Build(std::move(emb), std::move(ids));
+  std::vector<float> q(64);
+  for (float& v : q) v = rng.NextFloat(-1, 1);
+  for (auto _ : state) {
+    auto top = index.TopK(q.data(), 64);
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RetrievalTopK)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TokenizeAndHash(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  text::FeatureHasher hasher;
+  const std::string doc =
+      "the curse of the golden master is the fourth episode of the third "
+      "season which was aired on april sixteen and features the player";
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(doc);
+    auto ids = hasher.HashTokens(tokens, 7);
+    benchmark::DoNotOptimize(ids.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 25);
+}
+BENCHMARK(BM_TokenizeAndHash);
+
+void BM_Rouge1(benchmark::State& state) {
+  std::vector<std::string> a = {"the", "fourth", "episode", "of", "season"};
+  std::vector<std::string> b = {"fourth", "episode"};
+  for (auto _ : state) {
+    auto s = text::RougeN(b, a, 1);
+    benchmark::DoNotOptimize(s.f1);
+  }
+}
+BENCHMARK(BM_Rouge1);
+
+void BM_MetaReweightStep(benchmark::State& state) {
+  const std::size_t batch = state.range(0);
+  data::GeneratorOptions gopts;
+  gopts.seed = 4;
+  gopts.shared_vocab_size = 300;
+  gopts.domain_vocab_size = 150;
+  data::ZeshelLikeGenerator gen(gopts);
+  std::vector<data::DomainSpec> specs(1);
+  specs[0].name = "d";
+  specs[0].num_entities = 100;
+  specs[0].num_examples = 200;
+  auto corpus = gen.Generate(specs);
+  model::BiEncoderConfig cfg;
+  util::Rng rng(5);
+  model::BiEncoder model(cfg, &rng);
+  const auto& ex = corpus->ExamplesIn("d");
+  std::vector<data::LinkingExample> syn(ex.begin(), ex.begin() + batch);
+  std::vector<data::LinkingExample> seed(ex.begin() + batch,
+                                         ex.begin() + batch + 16);
+  const kb::KnowledgeBase* kb = &corpus->kb;
+  model::BiEncoder* m = &model;
+  train::MetaReweightTrainer meta(
+      train::MetaTrainOptions{}, model.params(),
+      [m, kb](tensor::Graph* g, const std::vector<data::LinkingExample>& b) {
+        return m->InBatchLoss(g, b, *kb);
+      });
+  for (auto _ : state) {
+    auto w = meta.Step(syn, seed);
+    benchmark::DoNotOptimize(w->data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MetaReweightStep)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Reproduces Table III (Zeshel dataset statistics) and Table IV (few-shot
+// split sizes) on the synthetic corpus, plus the overlap-category mix per
+// test domain (the Sec. VI-A taxonomy).
+
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "text/string_metrics.h"
+
+using namespace metablink;
+
+int main() {
+  const double scale = bench::ExperimentScale();
+  bench::ExperimentWorld world(scale, bench::ExperimentSeed());
+  const auto& corpus = world.corpus();
+
+  std::printf("=== Table III: dataset statistics (scale=%.2f) ===\n", scale);
+  std::printf("%-10s %-20s %10s %10s %10s\n", "split", "domain", "entities",
+              "examples", "documents");
+  auto print_group = [&](const char* name,
+                         const std::vector<std::string>& domains) {
+    for (const auto& d : domains) {
+      std::printf("%-10s %-20s %10zu %10zu %10zu\n", name, d.c_str(),
+                  corpus.kb.EntitiesInDomain(d).size(),
+                  corpus.ExamplesIn(d).size(), corpus.DocumentsIn(d).size());
+    }
+  };
+  print_group("train", data::ZeshelLikeGenerator::TrainDomainNames());
+  print_group("dev", data::ZeshelLikeGenerator::DevDomainNames());
+  print_group("test", data::ZeshelLikeGenerator::TestDomainNames());
+
+  std::printf("\n=== Table IV: few-shot split (50 train / 50 dev / rest) ===\n");
+  std::printf("%-20s %8s %8s %8s\n", "domain", "#train", "#dev", "#test");
+  for (const auto& d : data::ZeshelLikeGenerator::TestDomainNames()) {
+    auto split = data::MakeFewShotSplit(corpus.ExamplesIn(d), 50, 50,
+                                        bench::ExperimentSeed() ^ 0x5711);
+    std::printf("%-20s %8zu %8zu %8zu\n", d.c_str(), split.train.size(),
+                split.dev.size(), split.test.size());
+  }
+
+  std::printf("\n=== Overlap-category mix per test domain (Sec. VI-A) ===\n");
+  std::printf("%-20s %8s %8s %8s %8s\n", "domain", "high", "multi", "substr",
+              "low");
+  for (const auto& d : data::ZeshelLikeGenerator::TestDomainNames()) {
+    auto hist = data::CategoryHistogram(corpus.ExamplesIn(d), corpus.kb);
+    const double n = static_cast<double>(corpus.ExamplesIn(d).size());
+    std::printf("%-20s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", d.c_str(),
+                100.0 * hist[text::OverlapCategory::kHighOverlap] / n,
+                100.0 * hist[text::OverlapCategory::kMultipleCategories] / n,
+                100.0 * hist[text::OverlapCategory::kAmbiguousSubstring] / n,
+                100.0 * hist[text::OverlapCategory::kLowOverlap] / n);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Zero-shot domain transfer (Sec. VI-C): no labeled data exists for the
+// target domain at all. The seed set for meta-learning is constructed with
+// the paper's heuristics — rule-filtered synthetic pairs plus self-match
+// mentions mined from disambiguated entity descriptions.
+
+#include <cstdio>
+
+#include "core/few_shot_linker.h"
+#include "data/generator.h"
+
+using namespace metablink;
+
+int main() {
+  data::GeneratorOptions gopts;
+  gopts.seed = 515;
+  data::ZeshelLikeGenerator generator(gopts);
+  auto corpus = generator.Generate(
+      data::ZeshelLikeGenerator::PaperDomains(0.35));
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // FewShotLinker with an EMPTY seed list triggers the zero-shot path.
+  core::PipelineConfig config;
+  config.seed = 31337;
+  core::FewShotLinker linker(config);
+  auto status =
+      linker.Fit(*corpus, data::ZeshelLikeGenerator::TrainDomainNames(),
+                 "yugioh", /*seed_examples=*/{},
+                 /*max_heuristic_seeds=*/50);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("zero-shot fit on yugioh: %zu synthetic pairs, %zu heuristic "
+              "seeds (no human labels used)\n",
+              linker.num_synthetic(), linker.num_seeds());
+
+  auto split = data::MakeFewShotSplit(corpus->ExamplesIn("yugioh"), 0, 0, 7);
+  auto result = linker.Evaluate(split.test);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("test mentions: %zu\n", result->num_examples);
+  std::printf("R@64 %.2f%%  N.Acc %.2f%%  U.Acc %.2f%%\n",
+              100.0 * result->recall_at_k, 100.0 * result->normalized_acc,
+              100.0 * result->unnormalized_acc);
+
+  const auto& probe = split.test.front();
+  auto pred = linker.Link(probe.mention, probe.left_context,
+                          probe.right_context, 3);
+  if (pred.ok()) {
+    std::printf("\nmention \"%s\" (gold: %s)\n", probe.mention.c_str(),
+                corpus->kb.entity(probe.entity_id).title.c_str());
+    for (const auto& p : *pred) {
+      std::printf("  -> %-30s %.3f\n", p.title.c_str(), p.score);
+    }
+  }
+  return 0;
+}

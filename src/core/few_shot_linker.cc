@@ -1,0 +1,78 @@
+#include "core/few_shot_linker.h"
+
+namespace metablink::core {
+
+FewShotLinker::FewShotLinker(PipelineConfig config)
+    : pipeline_(std::move(config)) {}
+
+util::Status FewShotLinker::Fit(
+    const data::Corpus& corpus,
+    const std::vector<std::string>& source_domains,
+    const std::string& target_domain,
+    const std::vector<data::LinkingExample>& seed_examples,
+    std::size_t max_heuristic_seeds) {
+  if (corpus.kb.EntitiesInDomain(target_domain).empty()) {
+    return util::Status::NotFound("target domain has no entities: " +
+                                  target_domain);
+  }
+  METABLINK_RETURN_IF_ERROR(pipeline_.TrainRewriter(corpus, source_domains));
+  auto synthetic = pipeline_.BuildSyntheticData(corpus, target_domain,
+                                                /*adapt_to_domain=*/true);
+  if (!synthetic.ok()) return synthetic.status();
+  num_synthetic_ = synthetic->size();
+
+  std::vector<data::LinkingExample> seeds = seed_examples;
+  if (seeds.empty()) {
+    // Zero-shot: build the seed set with the paper's heuristics.
+    seeds = gen::HeuristicSeeds(corpus.kb, target_domain, *synthetic,
+                                max_heuristic_seeds);
+    if (seeds.empty()) {
+      return util::Status::FailedPrecondition(
+          "no seed examples given and heuristics produced none");
+    }
+  }
+  num_seeds_ = seeds.size();
+
+  METABLINK_RETURN_IF_ERROR(
+      pipeline_.TrainMeta(corpus.kb, *synthetic, seeds));
+  corpus_ = &corpus;
+  target_domain_ = target_domain;
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+util::Result<std::vector<LinkPrediction>> FewShotLinker::Link(
+    const std::string& mention, const std::string& left_context,
+    const std::string& right_context, std::size_t top_k) const {
+  if (!fitted_) {
+    return util::Status::FailedPrecondition("call Fit before Link");
+  }
+  data::LinkingExample ex;
+  ex.mention = mention;
+  ex.left_context = left_context;
+  ex.right_context = right_context;
+  ex.domain = target_domain_;
+  auto ranked =
+      pipeline_.Link(corpus_->kb, target_domain_, ex, top_k);
+  if (!ranked.ok()) return ranked.status();
+  std::vector<LinkPrediction> out;
+  out.reserve(ranked->size());
+  for (const auto& c : *ranked) {
+    LinkPrediction p;
+    p.entity_id = c.id;
+    p.title = corpus_->kb.entity(c.id).title;
+    p.score = c.score;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+util::Result<eval::EvalResult> FewShotLinker::Evaluate(
+    const std::vector<data::LinkingExample>& examples) const {
+  if (!fitted_) {
+    return util::Status::FailedPrecondition("call Fit before Evaluate");
+  }
+  return pipeline_.Evaluate(corpus_->kb, target_domain_, examples);
+}
+
+}  // namespace metablink::core

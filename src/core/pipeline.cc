@@ -1,0 +1,241 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace metablink::core {
+
+MetaBlinkPipeline::MetaBlinkPipeline(PipelineConfig config)
+    : config_(config),
+      rng_(config.seed),
+      rewriter_(config.rewriter),
+      evaluator_(config.eval) {
+  ResetModels();
+}
+
+void MetaBlinkPipeline::ResetModels() {
+  util::Rng bi_rng = rng_.Fork();
+  util::Rng cross_rng = rng_.Fork();
+  bi_ = std::make_unique<model::BiEncoder>(config_.bi, &bi_rng);
+  cross_ = std::make_unique<model::CrossEncoder>(config_.cross, &cross_rng);
+}
+
+util::Status MetaBlinkPipeline::TrainRewriter(
+    const data::Corpus& corpus,
+    const std::vector<std::string>& source_domains) {
+  std::vector<data::LinkingExample> source;
+  for (const auto& domain : source_domains) {
+    const auto& examples = corpus.ExamplesIn(domain);
+    source.insert(source.end(), examples.begin(), examples.end());
+  }
+  util::Rng rng = rng_.Fork();
+  return rewriter_.Train(corpus.kb, source, &rng);
+}
+
+std::vector<data::LinkingExample> MetaBlinkPipeline::BuildExactMatchData(
+    const data::Corpus& corpus, const std::string& domain) const {
+  gen::ExactMatcher matcher(corpus.kb, domain, config_.exact);
+  return matcher.MatchAll(corpus.DocumentsIn(domain));
+}
+
+util::Result<std::vector<data::LinkingExample>>
+MetaBlinkPipeline::BuildSyntheticData(const data::Corpus& corpus,
+                                      const std::string& domain,
+                                      bool adapt_to_domain) {
+  if (!rewriter_.trained()) {
+    return util::Status::FailedPrecondition(
+        "call TrainRewriter before BuildSyntheticData");
+  }
+  if (adapt_to_domain) {
+    rewriter_.AdaptToDomain(corpus.DocumentsIn(domain));
+  }
+  const std::vector<data::LinkingExample> exact =
+      BuildExactMatchData(corpus, domain);
+  if (exact.empty()) {
+    return util::Status::NotFound("exact matching produced no pairs for " +
+                                  domain);
+  }
+  util::Rng rng = rng_.Fork();
+  return rewriter_.GenerateSyntheticData(
+      corpus.kb, exact, corpus.kb.EntitiesInDomain(domain), &rng);
+}
+
+util::Result<std::vector<train::CrossInstance>>
+MetaBlinkPipeline::MineInstances(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& examples) {
+  // Candidates come from the example's own domain.
+  std::unordered_map<std::string, std::vector<data::LinkingExample>>
+      by_domain;
+  for (const auto& ex : examples) by_domain[ex.domain].push_back(ex);
+  std::vector<train::CrossInstance> instances;
+  for (auto& [domain, group] : by_domain) {
+    auto candidates =
+        evaluator_.RetrieveCandidates(*bi_, kb, domain, group);
+    if (!candidates.ok()) return candidates.status();
+    auto mined = train::MineCrossTrainingSet(group, *candidates,
+                                             config_.cross_train_candidates);
+    for (auto& inst : mined) instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+util::Status MetaBlinkPipeline::TrainSupervised(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& examples) {
+  train::BiEncoderTrainer bi_trainer(config_.bi_train);
+  auto bi_result = bi_trainer.Train(bi_.get(), kb, examples);
+  if (!bi_result.ok()) return bi_result.status();
+
+  auto instances = MineInstances(kb, examples);
+  if (!instances.ok()) return instances.status();
+  if (instances->empty()) {
+    METABLINK_LOG(kWarning)
+        << "no cross-encoder instances mined; stage 2 left untrained";
+    return util::Status::OK();
+  }
+  train::CrossEncoderTrainer cross_trainer(config_.cross_train);
+  auto cross_result = cross_trainer.Train(cross_.get(), kb, *instances);
+  return cross_result.ok() ? util::Status::OK() : cross_result.status();
+}
+
+util::Status MetaBlinkPipeline::TrainDl4el(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& examples,
+    const train::Dl4elOptions& dl4el_options) {
+  train::Dl4elTrainer dl4el(dl4el_options);
+  auto bi_result = dl4el.Train(bi_.get(), kb, examples);
+  if (!bi_result.ok()) return bi_result.status();
+
+  auto instances = MineInstances(kb, examples);
+  if (!instances.ok()) return instances.status();
+  if (instances->empty()) return util::Status::OK();
+  train::CrossEncoderTrainer cross_trainer(config_.cross_train);
+  auto cross_result = cross_trainer.Train(cross_.get(), kb, *instances);
+  return cross_result.ok() ? util::Status::OK() : cross_result.status();
+}
+
+util::Status MetaBlinkPipeline::TrainMeta(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& synthetic,
+    const std::vector<data::LinkingExample>& seed_set) {
+  if (synthetic.size() < 2) {
+    return util::Status::InvalidArgument("need at least 2 synthetic examples");
+  }
+  if (seed_set.empty()) {
+    return util::Status::InvalidArgument("seed set is empty");
+  }
+
+  // Warm-up: a short supervised pass over the *trusted seed set only*.
+  // Seeding the model with trusted structure is what makes the per-example
+  // gradient alignment informative; warming up on the (noisy) synthetic
+  // data instead lets the model memorize the noise first, after which bad
+  // examples no longer conflict with the seed gradient (ablated in
+  // bench_ablation_meta).
+  if (config_.meta_warmup_epochs > 0) {
+    train::TrainOptions warm = config_.bi_train;
+    warm.epochs = config_.meta_warmup_epochs;
+    train::BiEncoderTrainer warm_trainer(warm);
+    auto warm_result = warm_trainer.Train(bi_.get(), kb, seed_set);
+    if (!warm_result.ok()) return warm_result.status();
+  }
+
+  // Stage 1: Algorithm 1 on the bi-encoder.
+  {
+    model::BiEncoder* bi = bi_.get();
+    const kb::KnowledgeBase* kb_ptr = &kb;
+    train::MetaReweightTrainer meta(
+        config_.meta_bi, bi->params(),
+        [bi, kb_ptr](tensor::Graph* graph,
+                     const std::vector<data::LinkingExample>& batch) {
+          return bi->InBatchLoss(graph, batch, *kb_ptr);
+        });
+    auto result = meta.Train(synthetic, seed_set);
+    if (!result.ok()) return result.status();
+    last_meta_bi_ = *result;
+  }
+
+  // Stage 2: Algorithm 1 on the cross-encoder, over candidates mined with
+  // the meta-trained bi-encoder.
+  auto syn_instances = MineInstances(kb, synthetic);
+  if (!syn_instances.ok()) return syn_instances.status();
+  auto seed_instances = MineInstances(kb, seed_set);
+  if (!seed_instances.ok()) return seed_instances.status();
+  if (syn_instances->size() < 2 || seed_instances->empty()) {
+    METABLINK_LOG(kWarning)
+        << "insufficient mined instances for cross-encoder meta training "
+        << "(syn=" << syn_instances->size()
+        << ", seed=" << seed_instances->size() << "); stage 2 untrained";
+    return util::Status::OK();
+  }
+  {
+    model::CrossEncoder* cross = cross_.get();
+    const kb::KnowledgeBase* kb_ptr = &kb;
+    train::CrossMetaTrainer meta(
+        config_.meta_cross, cross->params(),
+        [cross, kb_ptr](tensor::Graph* graph,
+                        const std::vector<train::CrossInstance>& batch) {
+          std::vector<tensor::Var> losses;
+          losses.reserve(batch.size());
+          for (const auto& inst : batch) {
+            std::vector<kb::Entity> entities;
+            entities.reserve(inst.candidates.size());
+            for (kb::EntityId id : inst.candidates) {
+              entities.push_back(kb_ptr->entity(id));
+            }
+            losses.push_back(cross->RankingLoss(graph, inst.example, entities,
+                                                inst.gold_index));
+          }
+          return graph->ConcatRows(losses);
+        });
+    auto result = meta.Train(*syn_instances, *seed_instances);
+    if (!result.ok()) return result.status();
+    last_meta_cross_ = *result;
+  }
+  return util::Status::OK();
+}
+
+util::Result<eval::EvalResult> MetaBlinkPipeline::Evaluate(
+    const kb::KnowledgeBase& kb, const std::string& domain,
+    const std::vector<data::LinkingExample>& examples) {
+  return evaluator_.Evaluate(*bi_, cross_.get(), kb, domain, examples);
+}
+
+util::Result<std::vector<retrieval::ScoredEntity>> MetaBlinkPipeline::Link(
+    const kb::KnowledgeBase& kb, const std::string& domain,
+    const data::LinkingExample& mention, std::size_t top_k) {
+  std::vector<data::LinkingExample> one{mention};
+  auto candidates = evaluator_.RetrieveCandidates(*bi_, kb, domain, one);
+  if (!candidates.ok()) return candidates.status();
+  std::vector<retrieval::ScoredEntity> cands = (*candidates)[0];
+  if (cands.empty()) {
+    return util::Status::NotFound("no candidates retrieved");
+  }
+  std::vector<kb::Entity> entities;
+  entities.reserve(cands.size());
+  for (const auto& c : cands) entities.push_back(kb.entity(c.id));
+  const std::vector<float> scores = cross_->Score(mention, entities);
+  for (std::size_t i = 0; i < cands.size(); ++i) cands[i].score = scores[i];
+  std::sort(cands.begin(), cands.end(),
+            [](const retrieval::ScoredEntity& a,
+               const retrieval::ScoredEntity& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (cands.size() > top_k) cands.resize(top_k);
+  return cands;
+}
+
+util::Status MetaBlinkPipeline::Save(const std::string& prefix) const {
+  METABLINK_RETURN_IF_ERROR(bi_->SaveToFile(prefix + ".bi"));
+  return cross_->SaveToFile(prefix + ".cross");
+}
+
+util::Status MetaBlinkPipeline::Load(const std::string& prefix) {
+  METABLINK_RETURN_IF_ERROR(bi_->LoadFromFile(prefix + ".bi"));
+  return cross_->LoadFromFile(prefix + ".cross");
+}
+
+}  // namespace metablink::core

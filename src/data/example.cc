@@ -1,0 +1,15 @@
+#include "data/example.h"
+
+namespace metablink::data {
+
+std::unordered_map<text::OverlapCategory, std::size_t> CategoryHistogram(
+    const std::vector<LinkingExample>& examples, const kb::KnowledgeBase& kb) {
+  std::unordered_map<text::OverlapCategory, std::size_t> hist;
+  for (const auto& ex : examples) {
+    if (ex.entity_id >= kb.num_entities()) continue;
+    hist[text::ClassifyOverlap(ex.mention, kb.entity(ex.entity_id).title)]++;
+  }
+  return hist;
+}
+
+}  // namespace metablink::data

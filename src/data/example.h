@@ -1,0 +1,84 @@
+#ifndef METABLINK_DATA_EXAMPLE_H_
+#define METABLINK_DATA_EXAMPLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/entity.h"
+#include "kb/knowledge_base.h"
+#include "text/string_metrics.h"
+
+namespace metablink::data {
+
+/// How a linking example came to exist. Gold examples are drawn from the
+/// (synthetic) annotated corpus; the others are produced by the weak
+/// supervision pipeline (Sec. IV-A of the paper).
+enum class ExampleSource {
+  kGold,
+  kExactMatch,
+  kRewritten,
+  kInjectedBad,  // Fig. 4: mention deliberately linked to a random entity.
+};
+
+/// One entity-linking example: a mention in context, labeled with its gold
+/// entity. This is the unit flowing through every trainer and evaluator.
+struct LinkingExample {
+  std::string mention;
+  std::string left_context;
+  std::string right_context;
+  kb::EntityId entity_id = kb::kInvalidEntityId;
+  std::string domain;
+  ExampleSource source = ExampleSource::kGold;
+
+  /// Full surface text with the mention inline.
+  std::string FullText() const {
+    std::string out = left_context;
+    if (!out.empty()) out += ' ';
+    out += mention;
+    if (!right_context.empty()) {
+      out += ' ';
+      out += right_context;
+    }
+    return out;
+  }
+};
+
+/// Train/dev/test split of one domain's examples (Table IV protocol).
+struct DomainSplit {
+  std::vector<LinkingExample> train;
+  std::vector<LinkingExample> dev;
+  std::vector<LinkingExample> test;
+};
+
+/// A full generated world: the knowledge base plus per-domain labeled
+/// examples and unlabeled documents (raw text used by exact matching and by
+/// the syn* domain-adaptation step).
+struct Corpus {
+  kb::KnowledgeBase kb;
+  std::unordered_map<std::string, std::vector<LinkingExample>> examples;
+  std::unordered_map<std::string, std::vector<std::string>> documents;
+
+  const std::vector<LinkingExample>& ExamplesIn(
+      const std::string& domain) const {
+    static const std::vector<LinkingExample> kEmpty;
+    auto it = examples.find(domain);
+    return it == examples.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<std::string>& DocumentsIn(
+      const std::string& domain) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = documents.find(domain);
+    return it == documents.end() ? kEmpty : it->second;
+  }
+};
+
+/// Counts examples per overlap category (diagnostic used in the dataset
+/// stats bench and tests).
+std::unordered_map<text::OverlapCategory, std::size_t> CategoryHistogram(
+    const std::vector<LinkingExample>& examples, const kb::KnowledgeBase& kb);
+
+}  // namespace metablink::data
+
+#endif  // METABLINK_DATA_EXAMPLE_H_

@@ -1,0 +1,446 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace metablink::data {
+
+namespace {
+
+/// Zipf sampler with a precomputed CDF (util::Rng::NextZipf recomputes its
+/// table when (n, s) changes; the generator alternates between vocabularies
+/// constantly, so it keeps one sampler per vocabulary).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+  }
+
+  std::size_t Sample(util::Rng* rng) const {
+    double u = rng->NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Produces pronounceable pseudo-words, globally unique across the corpus.
+class WordFactory {
+ public:
+  explicit WordFactory(util::Rng rng) : rng_(rng) {
+    static const char* kOnsets[] = {"b", "d",  "f",  "g",  "k", "l", "m",
+                                    "n", "p",  "r",  "s",  "t", "v", "z",
+                                    "th", "dr", "kr", "st", "br", "gl"};
+    static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "or", "en"};
+    for (const char* o : kOnsets) {
+      for (const char* v : kVowels) {
+        syllables_.push_back(std::string(o) + v);
+      }
+    }
+  }
+
+  /// A new unique word of `min_syl`..`max_syl` syllables.
+  std::string MakeWord(int min_syl, int max_syl) {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      int n = static_cast<int>(rng_.NextInt(min_syl, max_syl));
+      std::string w;
+      for (int i = 0; i < n; ++i) {
+        w += syllables_[rng_.NextUint64(syllables_.size())];
+      }
+      if (used_.insert(w).second) return w;
+    }
+    // Fall back to a numbered suffix to guarantee progress.
+    std::string w = util::StrFormat("w%llu",
+                                    static_cast<unsigned long long>(counter_++));
+    used_.insert(w);
+    return w;
+  }
+
+  std::vector<std::string> MakeWords(std::size_t n, int min_syl, int max_syl) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(MakeWord(min_syl, max_syl));
+    return out;
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<std::string> syllables_;
+  std::unordered_set<std::string> used_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Generation-time metadata for one entity (not part of the public KB).
+struct EntityInfo {
+  kb::EntityId id = kb::kInvalidEntityId;
+  std::vector<std::string> title_words;  // base title, without the phrase
+  std::string phrase;                    // disambiguation phrase or ""
+  std::vector<std::string> signature;
+  std::vector<std::string> alias_surfaces;  // each alias joined into one string
+};
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  return util::Join(words, " ");
+}
+
+}  // namespace
+
+ZeshelLikeGenerator::ZeshelLikeGenerator(GeneratorOptions options)
+    : options_(options) {}
+
+util::Result<Corpus> ZeshelLikeGenerator::Generate(
+    const std::vector<DomainSpec>& specs) {
+  {
+    std::unordered_set<std::string> names;
+    for (const auto& s : specs) {
+      if (s.name.empty()) {
+        return util::Status::InvalidArgument("domain name must be non-empty");
+      }
+      if (!names.insert(s.name).second) {
+        return util::Status::InvalidArgument("duplicate domain: " + s.name);
+      }
+    }
+  }
+
+  util::Rng master(options_.seed);
+  WordFactory words(master.Fork());
+  Corpus corpus;
+
+  const std::vector<std::string> shared_vocab =
+      words.MakeWords(options_.shared_vocab_size, 2, 3);
+  ZipfSampler shared_zipf(shared_vocab.size(), options_.zipf_exponent);
+
+  const kb::RelationId rel_related = corpus.kb.AddRelation("related_to");
+  const kb::RelationId rel_part = corpus.kb.AddRelation("part_of");
+
+  for (const DomainSpec& spec : specs) {
+    util::Rng rng = master.Fork();
+    const std::vector<std::string> domain_vocab =
+        words.MakeWords(options_.domain_vocab_size, 2, 3);
+    ZipfSampler domain_zipf(domain_vocab.size(), options_.zipf_exponent);
+
+    auto filler_word = [&](util::Rng* r) -> const std::string& {
+      if (r->NextDouble() < spec.gap) {
+        return domain_vocab[domain_zipf.Sample(r)];
+      }
+      return shared_vocab[shared_zipf.Sample(r)];
+    };
+
+    // Per-domain concept pool: the small shared inventory entity signatures
+    // are drawn from (entities overlap heavily, making ranking ambiguous).
+    std::vector<std::string> concepts;
+    concepts.reserve(options_.concept_pool_size);
+    for (std::size_t c = 0; c < options_.concept_pool_size; ++c) {
+      concepts.push_back(filler_word(&rng));
+    }
+
+    // ---- Entities --------------------------------------------------------
+    std::vector<EntityInfo> infos;
+    infos.reserve(spec.num_entities);
+    const std::size_t num_disambig = static_cast<std::size_t>(
+        options_.disambiguation_fraction *
+        static_cast<double>(spec.num_entities));
+    const std::size_t group = std::max<std::size_t>(2, options_.siblings_per_base);
+    const std::size_t num_bases = num_disambig / group;
+
+    std::size_t made = 0;
+    // Disambiguated sibling groups first: same base title, distinct phrases.
+    for (std::size_t b = 0; b < num_bases && made + group <= spec.num_entities;
+         ++b) {
+      std::vector<std::string> base = {words.MakeWord(2, 3),
+                                       words.MakeWord(2, 3)};
+      // Distinct phrases within the group, or sibling titles would collide.
+      std::unordered_set<std::string> used_phrases;
+      for (std::size_t s = 0; s < group; ++s) {
+        EntityInfo info;
+        info.title_words = base;
+        do {
+          info.phrase = domain_vocab[rng.NextUint64(domain_vocab.size())];
+        } while (!used_phrases.insert(info.phrase).second);
+        infos.push_back(std::move(info));
+        ++made;
+      }
+    }
+    // Plain entities for the remainder; most titles have two words so that
+    // Ambiguous Substring mentions exist.
+    while (made < spec.num_entities) {
+      EntityInfo info;
+      info.title_words.push_back(words.MakeWord(2, 3));
+      if (rng.NextDouble() < 0.8) info.title_words.push_back(words.MakeWord(2, 3));
+      infos.push_back(std::move(info));
+      ++made;
+    }
+    rng.Shuffle(&infos);
+
+    // Signatures, aliases, descriptions.
+    for (EntityInfo& info : infos) {
+      for (std::size_t k = 0; k < options_.signature_size; ++k) {
+        info.signature.push_back(concepts[rng.NextUint64(concepts.size())]);
+      }
+      for (std::size_t a = 0; a < options_.num_aliases; ++a) {
+        // Aliases mix a fresh name word with one of the entity's signature
+        // words, so alias surfaces are tied to the description content.
+        std::vector<std::string> alias;
+        alias.push_back(words.MakeWord(2, 3));
+        if (!info.signature.empty() && rng.NextBool(0.6)) {
+          alias.push_back(info.signature[rng.NextUint64(info.signature.size())]);
+        }
+        info.alias_surfaces.push_back(JoinWords(alias));
+      }
+
+      // Description: base title first (required by the self-match seed
+      // heuristic), then signature + alias words interleaved with filler.
+      std::vector<std::string> desc = info.title_words;
+      desc.push_back("is");
+      desc.push_back("a");
+      std::vector<std::string> content;
+      for (const auto& s : info.signature) content.push_back(s);
+      for (const auto& a : info.alias_surfaces) {
+        if (!rng.NextBool(options_.p_alias_in_description)) continue;
+        for (const auto& w : util::SplitWhitespace(a)) content.push_back(w);
+      }
+      rng.Shuffle(&content);
+      std::size_t ci = 0;
+      while (desc.size() < options_.description_len) {
+        if (ci < content.size() && rng.NextBool(0.5)) {
+          desc.push_back(content[ci++]);
+        } else {
+          desc.push_back(filler_word(&rng));
+        }
+      }
+      // Guarantee all content words made it in.
+      while (ci < content.size()) desc.push_back(content[ci++]);
+
+      kb::Entity entity;
+      entity.title = JoinWords(info.title_words);
+      if (!info.phrase.empty()) entity.title += " (" + info.phrase + ")";
+      entity.description = JoinWords(desc);
+      entity.domain = spec.name;
+      auto id = corpus.kb.AddEntity(std::move(entity));
+      if (!id.ok()) return id.status();
+      info.id = *id;
+    }
+
+    // ---- Triples ---------------------------------------------------------
+    const std::size_t num_triples =
+        spec.num_entities * options_.triples_per_domain_factor;
+    for (std::size_t t = 0; t < num_triples; ++t) {
+      const EntityInfo& a = infos[rng.NextUint64(infos.size())];
+      const EntityInfo& b = infos[rng.NextUint64(infos.size())];
+      if (a.id == b.id) continue;
+      METABLINK_RETURN_IF_ERROR(corpus.kb.AddTriple(
+          a.id, rng.NextBool() ? rel_related : rel_part, b.id));
+    }
+
+    // ---- Category pools --------------------------------------------------
+    std::vector<std::size_t> plain_pool, disambig_pool, multiword_pool;
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      if (infos[i].phrase.empty()) {
+        plain_pool.push_back(i);
+      } else {
+        disambig_pool.push_back(i);
+      }
+      if (infos[i].title_words.size() >= 2) multiword_pool.push_back(i);
+    }
+
+    const double p_high =
+        spec.p_high_overlap >= 0 ? spec.p_high_overlap : options_.p_high_overlap;
+    const double p_multi = spec.p_multiple_categories >= 0
+                               ? spec.p_multiple_categories
+                               : options_.p_multiple_categories;
+    const double p_substr = spec.p_ambiguous_substring >= 0
+                                ? spec.p_ambiguous_substring
+                                : options_.p_ambiguous_substring;
+
+    auto make_context = [&](const EntityInfo& info, util::Rng* r) {
+      std::vector<std::string> ctx;
+      ctx.reserve(options_.context_len);
+      for (std::size_t k = 0; k < options_.context_len; ++k) {
+        const double u = r->NextDouble();
+        if (!info.signature.empty() &&
+            u < options_.p_signature_in_context) {
+          ctx.push_back(info.signature[r->NextUint64(info.signature.size())]);
+        } else if (u < options_.p_signature_in_context +
+                           options_.p_distractor_in_context) {
+          // Distractor: a concept word of some other entity.
+          const EntityInfo& other = infos[r->NextUint64(infos.size())];
+          if (!other.signature.empty()) {
+            ctx.push_back(
+                other.signature[r->NextUint64(other.signature.size())]);
+          } else {
+            ctx.push_back(filler_word(r));
+          }
+        } else {
+          ctx.push_back(filler_word(r));
+        }
+      }
+      return JoinWords(ctx);
+    };
+
+    // ---- Gold examples ---------------------------------------------------
+    ZipfSampler entity_zipf(infos.size(), options_.zipf_exponent);
+    std::vector<LinkingExample>& examples = corpus.examples[spec.name];
+    examples.reserve(spec.num_examples);
+    for (std::size_t i = 0; i < spec.num_examples; ++i) {
+      double u = rng.NextDouble();
+      const EntityInfo* info = nullptr;
+      std::string mention;
+      if (u < p_high && !plain_pool.empty()) {
+        info = &infos[plain_pool[rng.NextUint64(plain_pool.size())]];
+        mention = JoinWords(info->title_words);
+      } else if (u < p_high + p_multi && !disambig_pool.empty()) {
+        info = &infos[disambig_pool[rng.NextUint64(disambig_pool.size())]];
+        mention = JoinWords(info->title_words);  // base title, no phrase
+      } else if (u < p_high + p_multi + p_substr && !multiword_pool.empty()) {
+        info = &infos[multiword_pool[rng.NextUint64(multiword_pool.size())]];
+        mention = info->title_words[rng.NextUint64(info->title_words.size())];
+      } else {
+        info = &infos[entity_zipf.Sample(&rng)];
+        mention =
+            info->alias_surfaces[rng.NextUint64(info->alias_surfaces.size())];
+      }
+      LinkingExample ex;
+      ex.mention = std::move(mention);
+      ex.left_context = make_context(*info, &rng);
+      ex.right_context = make_context(*info, &rng);
+      ex.entity_id = info->id;
+      ex.domain = spec.name;
+      ex.source = ExampleSource::kGold;
+      examples.push_back(std::move(ex));
+    }
+
+    // ---- Unlabeled documents ----------------------------------------------
+    std::vector<std::string>& docs = corpus.documents[spec.name];
+    docs.reserve(spec.num_documents);
+    for (std::size_t d = 0; d < spec.num_documents; ++d) {
+      std::string doc;
+      for (std::size_t r = 0; r < options_.refs_per_document; ++r) {
+        const EntityInfo& info = infos[entity_zipf.Sample(&rng)];
+        double which = rng.NextDouble();
+        std::string surface;
+        if (which < 0.55) {
+          surface = JoinWords(info.title_words);
+          if (!info.phrase.empty() && rng.NextBool(0.3)) {
+            surface += " (" + info.phrase + ")";
+          }
+        } else if (which < 0.8) {
+          surface =
+              info.alias_surfaces[rng.NextUint64(info.alias_surfaces.size())];
+        } else {
+          surface = JoinWords(info.title_words);
+        }
+        if (!doc.empty()) doc += ' ';
+        doc += make_context(info, &rng);
+        doc += ' ';
+        doc += surface;
+        doc += ' ';
+        doc += make_context(info, &rng);
+      }
+      docs.push_back(std::move(doc));
+    }
+  }
+
+  return corpus;
+}
+
+std::vector<DomainSpec> ZeshelLikeGenerator::PaperDomains(double scale) {
+  // Entity counts are the paper's Table III divided by 40; gaps follow the
+  // structure measured in Table VIII (Lego/YuGiOh far from the general
+  // domain); the test domains' category mixes are tuned so the Name Matching
+  // floor lands near the paper's per-domain values.
+  struct Row {
+    const char* name;
+    std::size_t entities;
+    double gap;
+    std::size_t examples;
+    std::size_t documents;
+    double p_high, p_multi, p_substr;
+  };
+  static const Row kRows[] = {
+      // 8 training domains.
+      {"american_football", 798, 0.35, 500, 150, -1, -1, -1},
+      {"doctor_who", 1021, 0.35, 500, 150, -1, -1, -1},
+      {"fallout", 425, 0.35, 500, 150, -1, -1, -1},
+      {"final_fantasy", 351, 0.35, 500, 150, -1, -1, -1},
+      {"military", 1306, 0.35, 500, 150, -1, -1, -1},
+      {"pro_wrestling", 253, 0.35, 500, 150, -1, -1, -1},
+      {"star_wars", 1088, 0.35, 500, 150, -1, -1, -1},
+      {"world_of_warcraft", 692, 0.35, 500, 150, -1, -1, -1},
+      // 4 dev domains.
+      {"coronation_street", 445, 0.35, 300, 100, -1, -1, -1},
+      {"muppets", 534, 0.35, 300, 100, -1, -1, -1},
+      {"ice_hockey", 717, 0.35, 300, 100, -1, -1, -1},
+      {"elder_scrolls", 543, 0.35, 300, 100, -1, -1, -1},
+      // 4 test domains (Table IV sizes, scaled; gap per Table VIII). Test
+      // domains keep more entities than the /40 train-domain scaling so the
+      // k=64 candidate stage stays selective (chance R@64 < 10% at default
+      // bench scale).
+      {"forgotten_realms", 1600, 0.22, 650, 500, 0.16, 0.12, 0.10},
+      {"lego", 1300, 0.55, 650, 500, 0.09, 0.12, 0.10},
+      {"star_trek", 2600, 0.25, 1150, 500, 0.09, 0.10, 0.10},
+      {"yugioh", 1300, 0.60, 1050, 500, 0.05, 0.09, 0.10},
+  };
+  std::vector<DomainSpec> specs;
+  for (const Row& r : kRows) {
+    DomainSpec s;
+    s.name = r.name;
+    s.num_entities = std::max<std::size_t>(
+        20, static_cast<std::size_t>(static_cast<double>(r.entities) * scale));
+    s.gap = r.gap;
+    s.num_examples = std::max<std::size_t>(
+        20, static_cast<std::size_t>(static_cast<double>(r.examples) * scale));
+    s.num_documents = std::max<std::size_t>(
+        10, static_cast<std::size_t>(static_cast<double>(r.documents) * scale));
+    s.p_high_overlap = r.p_high;
+    s.p_multiple_categories = r.p_multi;
+    s.p_ambiguous_substring = r.p_substr;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<std::string> ZeshelLikeGenerator::TrainDomainNames() {
+  return {"american_football", "doctor_who",    "fallout",
+          "final_fantasy",     "military",      "pro_wrestling",
+          "star_wars",         "world_of_warcraft"};
+}
+
+std::vector<std::string> ZeshelLikeGenerator::DevDomainNames() {
+  return {"coronation_street", "muppets", "ice_hockey", "elder_scrolls"};
+}
+
+std::vector<std::string> ZeshelLikeGenerator::TestDomainNames() {
+  return {"forgotten_realms", "lego", "star_trek", "yugioh"};
+}
+
+DomainSplit MakeFewShotSplit(std::vector<LinkingExample> examples,
+                             std::size_t train_size, std::size_t dev_size,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  rng.Shuffle(&examples);
+  DomainSplit split;
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (i < train_size) {
+      split.train.push_back(std::move(examples[i]));
+    } else if (i < train_size + dev_size) {
+      split.dev.push_back(std::move(examples[i]));
+    } else {
+      split.test.push_back(std::move(examples[i]));
+    }
+  }
+  return split;
+}
+
+}  // namespace metablink::data

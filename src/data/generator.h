@@ -1,0 +1,119 @@
+#ifndef METABLINK_DATA_GENERATOR_H_
+#define METABLINK_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::data {
+
+/// Specification of one generated domain (a specialized entity dictionary).
+struct DomainSpec {
+  std::string name;
+  /// Entities in the domain.
+  std::size_t num_entities = 500;
+  /// Vocabulary gap: the probability that a content word is drawn from the
+  /// domain-specific vocabulary instead of the shared (general) vocabulary.
+  /// Models the paper's Table VIII "gap between target and general domain".
+  double gap = 0.3;
+  /// Gold labeled examples to generate.
+  std::size_t num_examples = 800;
+  /// Unlabeled documents (consumed by exact matching and syn* adaptation).
+  std::size_t num_documents = 400;
+  /// Mention overlap-category mix; a negative value means "use the
+  /// generator-wide default from GeneratorOptions". The remainder after the
+  /// three categories is Low Overlap.
+  double p_high_overlap = -1.0;
+  double p_multiple_categories = -1.0;
+  double p_ambiguous_substring = -1.0;
+};
+
+/// Generator-wide knobs.
+struct GeneratorOptions {
+  std::uint64_t seed = 42;
+  std::size_t shared_vocab_size = 1500;
+  std::size_t domain_vocab_size = 700;
+  /// Concept words per entity; these tie mention contexts to entity
+  /// descriptions and are the semantic signal every encoder must learn.
+  std::size_t signature_size = 6;
+  /// Size of the per-domain concept pool signatures are drawn from. Small
+  /// pools force entities to share concept words, which is what makes
+  /// candidate ranking genuinely ambiguous (as in the real benchmark).
+  std::size_t concept_pool_size = 120;
+  /// Probability that a context token is a distractor: a concept word from
+  /// a *different* random entity of the domain.
+  double p_distractor_in_context = 0.12;
+  /// Alternative surface forms per entity (Low Overlap mentions use these).
+  std::size_t num_aliases = 2;
+  /// Probability that an alias is written into the entity's description
+  /// ("also known as ..."). Aliases absent from the description make their
+  /// mentions linkable only through context-description semantics — the
+  /// hard Low Overlap case that dominates the real benchmark.
+  double p_alias_in_description = 0.4;
+  /// Default overlap-category mix (see the paper Sec. VI-A). The remainder
+  /// is Low Overlap, the dominant category in Zeshel.
+  double p_high_overlap = 0.15;
+  double p_multiple_categories = 0.15;
+  double p_ambiguous_substring = 0.10;
+  /// Fraction of entities that carry a "(disambiguation)" phrase and share
+  /// their base title with siblings.
+  double disambiguation_fraction = 0.20;
+  /// Siblings sharing one base title.
+  std::size_t siblings_per_base = 3;
+  /// Context tokens on each side of a mention.
+  std::size_t context_len = 16;
+  /// Probability that a context token is drawn from the gold entity's
+  /// signature (the context-side semantic signal strength).
+  double p_signature_in_context = 0.30;
+  /// Description length in tokens (title/alias/signature words included).
+  std::size_t description_len = 36;
+  /// Zipf exponent for entity popularity and word frequencies.
+  double zipf_exponent = 1.05;
+  /// Entity references embedded per unlabeled document.
+  std::size_t refs_per_document = 3;
+  /// Relation triples to add per domain (KB structure; exercised by the
+  /// custom-domain example app).
+  std::size_t triples_per_domain_factor = 1;  // num_entities * factor
+};
+
+/// Synthetic stand-in for the Zeshel fandom benchmark (see DESIGN.md §1).
+/// Generates a deterministic world from a seed: a shared "general" English
+/// proxy vocabulary, per-domain topic vocabularies, entities whose
+/// descriptions and mention contexts share per-entity signature words, and
+/// labeled examples covering the paper's four overlap categories.
+class ZeshelLikeGenerator {
+ public:
+  explicit ZeshelLikeGenerator(GeneratorOptions options = {});
+
+  /// Generates the world for `specs`. Domain names must be unique.
+  util::Result<Corpus> Generate(const std::vector<DomainSpec>& specs);
+
+  /// The paper's 16 domains (Table III) with entity counts scaled by
+  /// `scale` (1.0 ≈ paper counts / 30, keeping the relative sizes) and the
+  /// gap structure of Table VIII (Lego/YuGiOh far from general domain,
+  /// Forgotten Realms/Star Trek close).
+  static std::vector<DomainSpec> PaperDomains(double scale = 1.0);
+
+  /// Domain-name groups matching the paper's split.
+  static std::vector<std::string> TrainDomainNames();
+  static std::vector<std::string> DevDomainNames();
+  static std::vector<std::string> TestDomainNames();
+
+ private:
+  GeneratorOptions options_;
+};
+
+/// Splits a domain's gold examples per the Table IV protocol:
+/// `train_size` train, `dev_size` dev, remainder test. Deterministic given
+/// `seed` (examples are shuffled first).
+DomainSplit MakeFewShotSplit(std::vector<LinkingExample> examples,
+                             std::size_t train_size, std::size_t dev_size,
+                             std::uint64_t seed);
+
+}  // namespace metablink::data
+
+#endif  // METABLINK_DATA_GENERATOR_H_

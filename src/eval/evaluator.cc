@@ -1,0 +1,109 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace metablink::eval {
+
+TwoStageEvaluator::TwoStageEvaluator(EvaluatorOptions options)
+    : options_(options), pool_(options.num_threads) {}
+
+util::Result<std::vector<std::vector<retrieval::ScoredEntity>>>
+TwoStageEvaluator::RetrieveCandidates(
+    const model::BiEncoder& bi_encoder, const kb::KnowledgeBase& kb,
+    const std::string& domain,
+    const std::vector<data::LinkingExample>& examples) {
+  const std::vector<kb::EntityId>& ids = kb.EntitiesInDomain(domain);
+  if (ids.empty()) {
+    return util::Status::NotFound("domain has no entities: " + domain);
+  }
+  // Embed the domain's entities in chunks (keeps per-graph memory small).
+  tensor::Tensor all(ids.size(), bi_encoder.dim());
+  const std::size_t chunk = 256;
+  for (std::size_t begin = 0; begin < ids.size(); begin += chunk) {
+    const std::size_t end = std::min(ids.size(), begin + chunk);
+    std::vector<kb::EntityId> part(ids.begin() + begin, ids.begin() + end);
+    tensor::Tensor emb = bi_encoder.EmbedEntityIds(part, kb);
+    for (std::size_t r = 0; r < emb.rows(); ++r) {
+      std::copy(emb.row_data(r), emb.row_data(r) + emb.cols(),
+                all.row_data(begin + r));
+    }
+  }
+  retrieval::DenseIndex index;
+  METABLINK_RETURN_IF_ERROR(index.Build(std::move(all), ids));
+
+  tensor::Tensor queries(examples.size(), bi_encoder.dim());
+  for (std::size_t begin = 0; begin < examples.size(); begin += chunk) {
+    const std::size_t end = std::min(examples.size(), begin + chunk);
+    std::vector<data::LinkingExample> part(examples.begin() + begin,
+                                           examples.begin() + end);
+    tensor::Tensor emb = bi_encoder.EmbedMentions(part);
+    for (std::size_t r = 0; r < emb.rows(); ++r) {
+      std::copy(emb.row_data(r), emb.row_data(r) + emb.cols(),
+                queries.row_data(begin + r));
+    }
+  }
+  return index.BatchTopK(queries, options_.k, &pool_);
+}
+
+util::Result<EvalResult> TwoStageEvaluator::Evaluate(
+    const model::BiEncoder& bi_encoder,
+    const model::CrossEncoder* cross_encoder, const kb::KnowledgeBase& kb,
+    const std::string& domain,
+    const std::vector<data::LinkingExample>& examples) {
+  if (examples.empty()) {
+    return util::Status::InvalidArgument("no examples to evaluate");
+  }
+  auto candidates =
+      RetrieveCandidates(bi_encoder, kb, domain, examples);
+  if (!candidates.ok()) return candidates.status();
+
+  std::atomic<std::size_t> in_candidates{0};
+  std::atomic<std::size_t> top1{0};
+  pool_.ParallelFor(examples.size(), [&](std::size_t i) {
+    const auto& cands = (*candidates)[i];
+    const kb::EntityId gold = examples[i].entity_id;
+    std::size_t gold_pos = cands.size();
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      if (cands[c].id == gold) {
+        gold_pos = c;
+        break;
+      }
+    }
+    if (gold_pos == cands.size()) return;  // stage-1 miss
+    in_candidates.fetch_add(1);
+    std::size_t best = 0;
+    if (cross_encoder != nullptr) {
+      std::vector<kb::Entity> entities;
+      entities.reserve(cands.size());
+      for (const auto& c : cands) entities.push_back(kb.entity(c.id));
+      const std::vector<float> scores =
+          cross_encoder->Score(examples[i], entities);
+      best = static_cast<std::size_t>(
+          std::max_element(scores.begin(), scores.end()) - scores.begin());
+    }
+    // With no cross-encoder, stage-1 order ranks (best = 0 already).
+    if (cands[best].id == gold) top1.fetch_add(1);
+  });
+  return MakeEvalResult(examples.size(), in_candidates.load(), top1.load());
+}
+
+double NameMatchingAccuracy(const kb::KnowledgeBase& kb,
+                            const std::string& domain,
+                            const std::vector<data::LinkingExample>& examples,
+                            util::Rng* rng) {
+  if (examples.empty()) return 0.0;
+  kb::TitleIndex index(kb, domain);
+  std::size_t correct = 0;
+  for (const auto& ex : examples) {
+    const auto& exact = index.LookupExact(ex.mention);
+    const std::vector<kb::EntityId>* pool = &exact;
+    if (pool->empty()) pool = &index.LookupBase(ex.mention);
+    if (pool->empty()) continue;
+    const kb::EntityId pick = (*pool)[rng->NextUint64(pool->size())];
+    if (pick == ex.entity_id) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples.size());
+}
+
+}  // namespace metablink::eval

@@ -1,0 +1,67 @@
+#ifndef METABLINK_EVAL_EVALUATOR_H_
+#define METABLINK_EVAL_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "eval/metrics.h"
+#include "kb/knowledge_base.h"
+#include "kb/title_index.h"
+#include "model/bi_encoder.h"
+#include "model/cross_encoder.h"
+#include "retrieval/dense_index.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metablink::eval {
+
+/// Evaluation knobs.
+struct EvaluatorOptions {
+  /// Stage-1 candidate count (paper: 64).
+  std::size_t k = 64;
+  /// Worker threads for retrieval / cross scoring (0 = hardware).
+  std::size_t num_threads = 0;
+};
+
+/// Runs the paper's two-stage evaluation protocol: bi-encoder retrieval of
+/// the top-k entities of the mention's domain, then cross-encoder ranking of
+/// the retrieved candidates.
+class TwoStageEvaluator {
+ public:
+  explicit TwoStageEvaluator(EvaluatorOptions options = {});
+
+  /// Full two-stage evaluation of `examples` (all of one domain) against
+  /// the entities of `domain`. Pass a null cross_encoder to rank candidates
+  /// by the stage-1 score instead (bi-encoder-only evaluation).
+  util::Result<EvalResult> Evaluate(
+      const model::BiEncoder& bi_encoder,
+      const model::CrossEncoder* cross_encoder, const kb::KnowledgeBase& kb,
+      const std::string& domain,
+      const std::vector<data::LinkingExample>& examples);
+
+  /// Stage-1 only: builds the domain index and returns per-example
+  /// candidate lists (used by cross-encoder training to mine candidates).
+  util::Result<std::vector<std::vector<retrieval::ScoredEntity>>>
+  RetrieveCandidates(const model::BiEncoder& bi_encoder,
+                     const kb::KnowledgeBase& kb, const std::string& domain,
+                     const std::vector<data::LinkingExample>& examples);
+
+ private:
+  EvaluatorOptions options_;
+  util::ThreadPool pool_;
+};
+
+/// The Name Matching baseline (Riedel et al.): a mention links to the
+/// entity whose title exactly matches it (falling back to disambiguated
+/// base-title matches); ties are broken uniformly at random with `rng`;
+/// unmatched mentions count as wrong. Returns end-to-end accuracy (U.Acc.).
+double NameMatchingAccuracy(const kb::KnowledgeBase& kb,
+                            const std::string& domain,
+                            const std::vector<data::LinkingExample>& examples,
+                            util::Rng* rng);
+
+}  // namespace metablink::eval
+
+#endif  // METABLINK_EVAL_EVALUATOR_H_

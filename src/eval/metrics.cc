@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+namespace metablink::eval {
+
+double RecallAtK(
+    const std::vector<std::vector<retrieval::ScoredEntity>>& candidate_lists,
+    const std::vector<kb::EntityId>& gold) {
+  if (candidate_lists.empty() || candidate_lists.size() != gold.size()) {
+    return 0.0;
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < gold.size(); ++i) {
+    for (const auto& cand : candidate_lists[i]) {
+      if (cand.id == gold[i]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(gold.size());
+}
+
+EvalResult MakeEvalResult(std::size_t num_examples,
+                          std::size_t num_in_candidates,
+                          std::size_t num_top1) {
+  EvalResult r;
+  r.num_examples = num_examples;
+  r.num_in_candidates = num_in_candidates;
+  r.num_top1 = num_top1;
+  if (num_examples > 0) {
+    r.recall_at_k = static_cast<double>(num_in_candidates) /
+                    static_cast<double>(num_examples);
+    r.unnormalized_acc =
+        static_cast<double>(num_top1) / static_cast<double>(num_examples);
+  }
+  if (num_in_candidates > 0) {
+    r.normalized_acc = static_cast<double>(num_top1) /
+                       static_cast<double>(num_in_candidates);
+  }
+  return r;
+}
+
+}  // namespace metablink::eval

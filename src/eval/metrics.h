@@ -1,0 +1,38 @@
+#ifndef METABLINK_EVAL_METRICS_H_
+#define METABLINK_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kb/entity.h"
+#include "retrieval/dense_index.h"
+
+namespace metablink::eval {
+
+/// Two-stage evaluation result (the paper's protocol, Sec. VI-A):
+///  - recall_at_k:   stage-1 recall (gold entity among retrieved candidates)
+///  - normalized_acc (N.Acc.): stage-2 ranking accuracy on the subset of
+///    mentions whose gold entity was retrieved
+///  - unnormalized_acc (U.Acc.): recall × N.Acc — end-to-end accuracy.
+struct EvalResult {
+  double recall_at_k = 0.0;
+  double normalized_acc = 0.0;
+  double unnormalized_acc = 0.0;
+  std::size_t num_examples = 0;
+  std::size_t num_in_candidates = 0;
+  std::size_t num_top1 = 0;  // stage-2 correct
+};
+
+/// Stage-1 recall@k given candidate lists aligned with gold ids.
+double RecallAtK(const std::vector<std::vector<retrieval::ScoredEntity>>&
+                     candidate_lists,
+                 const std::vector<kb::EntityId>& gold);
+
+/// Combines stage counts into an EvalResult.
+EvalResult MakeEvalResult(std::size_t num_examples,
+                          std::size_t num_in_candidates,
+                          std::size_t num_top1);
+
+}  // namespace metablink::eval
+
+#endif  // METABLINK_EVAL_METRICS_H_

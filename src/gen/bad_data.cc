@@ -1,0 +1,27 @@
+#include "gen/bad_data.h"
+
+namespace metablink::gen {
+
+std::vector<data::LinkingExample> InjectBadData(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& source, std::size_t count,
+    util::Rng* rng) {
+  std::vector<data::LinkingExample> out;
+  if (source.empty()) return out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::LinkingExample& base =
+        source[rng->NextUint64(source.size())];
+    const auto& pool = kb.EntitiesInDomain(base.domain);
+    if (pool.size() < 2) continue;
+    data::LinkingExample bad = base;
+    do {
+      bad.entity_id = pool[rng->NextUint64(pool.size())];
+    } while (bad.entity_id == base.entity_id);
+    bad.source = data::ExampleSource::kInjectedBad;
+    out.push_back(std::move(bad));
+  }
+  return out;
+}
+
+}  // namespace metablink::gen

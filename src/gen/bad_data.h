@@ -1,0 +1,25 @@
+#ifndef METABLINK_GEN_BAD_DATA_H_
+#define METABLINK_GEN_BAD_DATA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "util/rng.h"
+
+namespace metablink::gen {
+
+/// The Fig. 4 bad-data generator: copies `count` examples sampled from
+/// `source` and relinks each mention to a uniformly random entity of the
+/// same domain (guaranteed different from the gold one). The copies are
+/// tagged ExampleSource::kInjectedBad so the selection-ratio experiment can
+/// tell the populations apart.
+std::vector<data::LinkingExample> InjectBadData(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& source, std::size_t count,
+    util::Rng* rng);
+
+}  // namespace metablink::gen
+
+#endif  // METABLINK_GEN_BAD_DATA_H_

@@ -1,0 +1,77 @@
+#include "gen/exact_matcher.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace metablink::gen {
+
+ExactMatcher::ExactMatcher(const kb::KnowledgeBase& kb,
+                           const std::string& domain,
+                           ExactMatcherOptions options)
+    : kb_(kb), domain_(domain), options_(options) {
+  for (kb::EntityId id : kb.EntitiesInDomain(domain)) {
+    const std::string norm = text::NormalizeForMatch(kb.entity(id).title);
+    titles_[norm].push_back(id);
+  }
+}
+
+void ExactMatcher::MatchDocument(
+    const std::string& document,
+    std::vector<data::LinkingExample>* out) const {
+  text::Tokenizer tokenizer;
+  const std::vector<std::string> tokens = tokenizer.Tokenize(document);
+  if (tokens.empty()) return;
+
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    // Greedy longest-window match starting at i.
+    std::size_t best_len = 0;
+    const std::vector<kb::EntityId>* best_ids = nullptr;
+    const std::size_t max_len =
+        std::min(options_.max_title_tokens, tokens.size() - i);
+    std::string window;
+    for (std::size_t len = 1; len <= max_len; ++len) {
+      if (len > 1) window += ' ';
+      window += tokens[i + len - 1];
+      auto it = titles_.find(window);
+      if (it != titles_.end()) {
+        best_len = len;
+        best_ids = &it->second;
+      }
+    }
+    if (best_ids == nullptr ||
+        (options_.skip_ambiguous && best_ids->size() > 1)) {
+      ++i;
+      continue;
+    }
+    data::LinkingExample ex;
+    ex.entity_id = (*best_ids)[0];
+    ex.mention = kb_.entity(ex.entity_id).title;
+    const std::size_t lb =
+        i > options_.context_len ? i - options_.context_len : 0;
+    const std::size_t re =
+        std::min(tokens.size(), i + best_len + options_.context_len);
+    ex.left_context = util::Join(
+        std::vector<std::string>(tokens.begin() + lb, tokens.begin() + i),
+        " ");
+    ex.right_context = util::Join(
+        std::vector<std::string>(tokens.begin() + i + best_len,
+                                 tokens.begin() + re),
+        " ");
+    ex.domain = domain_;
+    ex.source = data::ExampleSource::kExactMatch;
+    out->push_back(std::move(ex));
+    i += best_len;
+  }
+}
+
+std::vector<data::LinkingExample> ExactMatcher::MatchAll(
+    const std::vector<std::string>& documents) const {
+  std::vector<data::LinkingExample> out;
+  for (const auto& doc : documents) MatchDocument(doc, &out);
+  return out;
+}
+
+}  // namespace metablink::gen

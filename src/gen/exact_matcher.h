@@ -1,0 +1,54 @@
+#ifndef METABLINK_GEN_EXACT_MATCHER_H_
+#define METABLINK_GEN_EXACT_MATCHER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+
+namespace metablink::gen {
+
+/// Options for exact-match weak supervision.
+struct ExactMatcherOptions {
+  /// Longest title (in tokens) considered when scanning windows.
+  std::size_t max_title_tokens = 5;
+  /// Context tokens kept on each side of a matched mention.
+  std::size_t context_len = 16;
+  /// Skip windows that match more than one entity (ambiguous bases would
+  /// inject label noise we cannot attribute).
+  bool skip_ambiguous = true;
+};
+
+/// The paper's "Exact Matching" weak-supervision step (Sec. IV-A, following
+/// Le & Titov): scan a domain's unlabeled documents for token windows whose
+/// normalized text equals an entity title, and emit each hit as a training
+/// pair whose mention text equals the title. These pairs are trivially
+/// linkable by surface form — the bias the mention rewriter later removes.
+class ExactMatcher {
+ public:
+  /// Builds matching structures for `domain` of `kb`. The KnowledgeBase must
+  /// outlive the matcher.
+  ExactMatcher(const kb::KnowledgeBase& kb, const std::string& domain,
+               ExactMatcherOptions options = {});
+
+  /// Scans one document, appending matches to `*out`.
+  void MatchDocument(const std::string& document,
+                     std::vector<data::LinkingExample>* out) const;
+
+  /// Scans every document, returning all matches.
+  std::vector<data::LinkingExample> MatchAll(
+      const std::vector<std::string>& documents) const;
+
+ private:
+  const kb::KnowledgeBase& kb_;
+  std::string domain_;
+  ExactMatcherOptions options_;
+  // normalized title -> entity ids with that exact title.
+  std::unordered_map<std::string, std::vector<kb::EntityId>> titles_;
+};
+
+}  // namespace metablink::gen
+
+#endif  // METABLINK_GEN_EXACT_MATCHER_H_

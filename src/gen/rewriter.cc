@@ -1,0 +1,233 @@
+#include "gen/rewriter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace metablink::gen {
+
+namespace {
+
+double SigmoidD(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::unordered_set<std::string>(v.begin(), v.end());
+}
+
+}  // namespace
+
+MentionRewriter::MentionRewriter(RewriterOptions options)
+    : options_(options) {}
+
+void MentionRewriter::TokenFeatures(
+    const std::vector<std::string>& desc_tokens,
+    const std::vector<std::string>& title_tokens, std::size_t position,
+    double feats[kNumFeatures]) const {
+  const std::string& tok = desc_tokens[position];
+  const double n = static_cast<double>(desc_tokens.size());
+  feats[0] = 1.0;  // bias
+  feats[1] = source_stats_.Idf(tok) / 10.0;
+  feats[2] = 1.0 - static_cast<double>(position) / std::max(1.0, n - 1.0);
+  feats[3] = std::count(title_tokens.begin(), title_tokens.end(), tok) > 0
+                 ? 1.0
+                 : 0.0;
+  feats[4] = static_cast<double>(tok.size()) / 12.0;
+  // Repetition inside the description is a salience cue (aliases and
+  // signature words recur; filler mostly does not).
+  feats[5] =
+      static_cast<double>(std::count(desc_tokens.begin(), desc_tokens.end(),
+                                     tok)) /
+      4.0;
+}
+
+util::Status MentionRewriter::Train(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& source_examples,
+    util::Rng* rng) {
+  if (source_examples.empty()) {
+    return util::Status::InvalidArgument(
+        "rewriter training needs source-domain examples");
+  }
+  text::Tokenizer tokenizer;
+
+  // Corpus statistics over the source descriptions (for IDF features).
+  std::unordered_set<kb::EntityId> seen;
+  for (const auto& ex : source_examples) {
+    if (ex.entity_id >= kb.num_entities()) {
+      return util::Status::InvalidArgument("example references unknown entity");
+    }
+    if (seen.insert(ex.entity_id).second) {
+      source_stats_.AddDocument(
+          tokenizer.Tokenize(kb.entity(ex.entity_id).description));
+    }
+  }
+
+  // Assemble per-token training rows: is this description token part of the
+  // gold mention for the entity?
+  struct RowData {
+    double feats[kNumFeatures];
+    double label;
+  };
+  std::vector<RowData> rows;
+  for (const auto& ex : source_examples) {
+    const kb::Entity& entity = kb.entity(ex.entity_id);
+    const auto desc_tokens = tokenizer.Tokenize(entity.description);
+    const auto title_tokens = tokenizer.Tokenize(entity.title);
+    const auto mention_set = ToSet(tokenizer.Tokenize(ex.mention));
+    for (std::size_t i = 0; i < desc_tokens.size(); ++i) {
+      RowData row;
+      TokenFeatures(desc_tokens, title_tokens, i, row.feats);
+      row.label = mention_set.count(desc_tokens[i]) > 0 ? 1.0 : 0.0;
+      rows.push_back(row);
+    }
+  }
+  if (rows.empty()) {
+    return util::Status::InvalidArgument("no training rows derived");
+  }
+
+  // Logistic regression by SGD.
+  std::fill(std::begin(weights_), std::end(weights_), 0.0);
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (std::size_t idx : order) {
+      const RowData& row = rows[idx];
+      double z = 0.0;
+      for (std::size_t f = 0; f < kNumFeatures; ++f) {
+        z += weights_[f] * row.feats[f];
+      }
+      const double err = SigmoidD(z) - row.label;
+      for (std::size_t f = 0; f < kNumFeatures; ++f) {
+        weights_[f] -= options_.train_lr * err * row.feats[f];
+      }
+    }
+  }
+  trained_ = true;
+  return util::Status::OK();
+}
+
+void MentionRewriter::AdaptToDomain(
+    const std::vector<std::string>& documents) {
+  text::Tokenizer tokenizer;
+  domain_stats_ = text::TfIdfStats();
+  std::vector<double> ppls;
+  for (const auto& doc : documents) {
+    domain_stats_.AddDocument(tokenizer.Tokenize(doc));
+  }
+  for (const auto& doc : documents) {
+    ppls.push_back(domain_stats_.PerplexityProxy(tokenizer.Tokenize(doc)));
+  }
+  if (!ppls.empty()) {
+    double mean = std::accumulate(ppls.begin(), ppls.end(), 0.0) /
+                  static_cast<double>(ppls.size());
+    double var = 0.0;
+    for (double p : ppls) var += (p - mean) * (p - mean);
+    var /= static_cast<double>(ppls.size());
+    domain_ppl_mean_ = mean;
+    domain_ppl_std_ = std::max(1e-6, std::sqrt(var));
+  }
+  adapted_ = true;
+}
+
+std::vector<double> MentionRewriter::ScoreTokens(
+    const std::vector<std::string>& description_tokens,
+    const std::vector<std::string>& title_tokens) const {
+  std::vector<double> scores(description_tokens.size(), 0.0);
+  for (std::size_t i = 0; i < description_tokens.size(); ++i) {
+    double feats[kNumFeatures];
+    TokenFeatures(description_tokens, title_tokens, i, feats);
+    double z = 0.0;
+    for (std::size_t f = 0; f < kNumFeatures; ++f) z += weights_[f] * feats[f];
+    scores[i] = SigmoidD(z);
+  }
+  return scores;
+}
+
+std::string MentionRewriter::Rewrite(const kb::Entity& entity,
+                                     util::Rng* rng) const {
+  text::Tokenizer tokenizer;
+  const auto desc_tokens = tokenizer.Tokenize(entity.description);
+  const auto title_tokens = tokenizer.Tokenize(entity.title);
+  const auto title_set = ToSet(title_tokens);
+  if (desc_tokens.empty()) return entity.title;
+
+  const int max_attempts = adapted_ ? 4 : 1;
+  std::string candidate;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    candidate.clear();
+    if (rng->NextDouble() < options_.garbage_rate) {
+      // Garbage channel: random description filler, ignoring salience —
+      // fluent-looking but semantically vacuous output.
+      const std::size_t k =
+          1 + rng->NextUint64(options_.max_mention_words);
+      std::vector<std::string> toks;
+      for (std::size_t i = 0; i < k; ++i) {
+        toks.push_back(desc_tokens[rng->NextUint64(desc_tokens.size())]);
+      }
+      candidate = util::Join(toks, " ");
+    } else {
+      // Salience channel: highest-scoring non-title tokens, in description
+      // order (deduplicated).
+      std::vector<double> scores = ScoreTokens(desc_tokens, title_tokens);
+      std::vector<std::size_t> order(desc_tokens.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return scores[a] > scores[b];
+      });
+      const std::size_t want =
+          1 + rng->NextUint64(options_.max_mention_words);
+      std::vector<std::size_t> picked;
+      std::unordered_set<std::string> used;
+      for (std::size_t idx : order) {
+        if (picked.size() >= want) break;
+        const std::string& tok = desc_tokens[idx];
+        if (title_set.count(tok) > 0) continue;
+        if (!used.insert(tok).second) continue;
+        picked.push_back(idx);
+      }
+      std::sort(picked.begin(), picked.end());
+      std::vector<std::string> toks;
+      for (std::size_t idx : picked) toks.push_back(desc_tokens[idx]);
+      candidate = util::Join(toks, " ");
+    }
+    if (candidate.empty()) continue;
+    if (!adapted_) break;
+    // syn*: reject candidates that look out-of-domain (high perplexity
+    // proxy) and resample; keeps the garbage channel mostly filtered out.
+    const double ppl =
+        domain_stats_.PerplexityProxy(tokenizer.Tokenize(candidate));
+    const double z = (ppl - domain_ppl_mean_) / domain_ppl_std_;
+    if (z <= options_.adapted_reject_zscore) break;
+  }
+  if (candidate.empty()) {
+    candidate = desc_tokens[rng->NextUint64(desc_tokens.size())];
+  }
+  return candidate;
+}
+
+std::vector<data::LinkingExample> MentionRewriter::GenerateSyntheticData(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& exact_pairs,
+    const std::vector<kb::EntityId>& domain_entities, util::Rng* rng) const {
+  std::vector<data::LinkingExample> out;
+  out.reserve(exact_pairs.size());
+  for (const auto& pair : exact_pairs) {
+    data::LinkingExample ex = pair;
+    ex.source = data::ExampleSource::kRewritten;
+    ex.mention = Rewrite(kb.entity(pair.entity_id), rng);
+    if (!domain_entities.empty() &&
+        rng->NextDouble() < options_.mislabel_rate) {
+      // Alignment-noise channel: keep the text, flip the label.
+      ex.entity_id = domain_entities[rng->NextUint64(domain_entities.size())];
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace metablink::gen

@@ -1,0 +1,102 @@
+#ifndef METABLINK_GEN_REWRITER_H_
+#define METABLINK_GEN_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "text/tfidf.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::gen {
+
+/// Options for the mention rewriter.
+struct RewriterOptions {
+  /// Max words in a generated mention.
+  std::size_t max_mention_words = 3;
+  /// Probability of emitting a garbage mention (random filler words instead
+  /// of salient description words) — models T5's occasional fluent-nonsense
+  /// output. The domain-adapted rewriter (syn*) detects and resamples most
+  /// of these, which is what makes syn* cleaner than syn.
+  double garbage_rate = 0.18;
+  /// Probability of pairing the rewritten mention/context with the *wrong*
+  /// entity — models alignment noise in weak supervision.
+  double mislabel_rate = 0.08;
+  /// Salience-model training: SGD epochs and learning rate.
+  std::size_t train_epochs = 6;
+  float train_lr = 0.1f;
+  /// Perplexity-proxy threshold (in std-devs above the domain mean) above
+  /// which an adapted rewriter rejects a candidate mention and resamples.
+  double adapted_reject_zscore = 0.5;
+};
+
+/// Trainable stand-in for the paper's fine-tuned T5 rewriter (eq. 1-2).
+///
+/// The paper trains T5 on source-domain (entity description → mention)
+/// pairs with a "summarize:" prefix, then rewrites target-domain mentions by
+/// summarizing the entity description. This class learns the same mapping
+/// as an extractive summarizer: a logistic salience model over description
+/// tokens (features: TF-IDF, position, title membership, document
+/// frequency) fit on the source domains, which then selects the most
+/// salient non-title description words as the rewritten mention.
+///
+/// `AdaptToDomain` mirrors the paper's unsupervised denoising fine-tuning:
+/// it fits target-domain unigram statistics and uses them to reject
+/// out-of-domain garbage candidates (producing the cleaner syn* data).
+class MentionRewriter {
+ public:
+  explicit MentionRewriter(RewriterOptions options = {});
+
+  /// Fits the salience model on source-domain gold pairs: for each example,
+  /// description tokens that also occur in the gold mention are positive.
+  util::Status Train(const kb::KnowledgeBase& kb,
+                     const std::vector<data::LinkingExample>& source_examples,
+                     util::Rng* rng);
+
+  /// Unsupervised adaptation to a target domain's raw documents (syn*).
+  void AdaptToDomain(const std::vector<std::string>& documents);
+
+  bool trained() const { return trained_; }
+  bool adapted() const { return adapted_; }
+
+  /// Generates a rewritten mention for `entity` (eq. 2). Never returns the
+  /// entity's own title text.
+  std::string Rewrite(const kb::Entity& entity, util::Rng* rng) const;
+
+  /// Rewrites a batch of exact-match pairs into synthetic pairs: the
+  /// original mention is replaced by a generated mention (forming the new
+  /// context of Fig. 3), with the configured noise channels applied.
+  /// `domain_entities` supplies wrong-entity candidates for mislabel noise.
+  std::vector<data::LinkingExample> GenerateSyntheticData(
+      const kb::KnowledgeBase& kb,
+      const std::vector<data::LinkingExample>& exact_pairs,
+      const std::vector<kb::EntityId>& domain_entities, util::Rng* rng) const;
+
+  /// Salience scores for each token of `description_tokens` (higher = more
+  /// mention-worthy). Exposed for tests and diagnostics.
+  std::vector<double> ScoreTokens(
+      const std::vector<std::string>& description_tokens,
+      const std::vector<std::string>& title_tokens) const;
+
+ private:
+  static constexpr std::size_t kNumFeatures = 6;
+
+  void TokenFeatures(const std::vector<std::string>& desc_tokens,
+                     const std::vector<std::string>& title_tokens,
+                     std::size_t position, double feats[kNumFeatures]) const;
+
+  RewriterOptions options_;
+  bool trained_ = false;
+  bool adapted_ = false;
+  double weights_[kNumFeatures] = {0};
+  text::TfIdfStats source_stats_;   // fit during Train (all descriptions)
+  text::TfIdfStats domain_stats_;   // fit during AdaptToDomain
+  double domain_ppl_mean_ = 0.0;
+  double domain_ppl_std_ = 1.0;
+};
+
+}  // namespace metablink::gen
+
+#endif  // METABLINK_GEN_REWRITER_H_

@@ -1,0 +1,131 @@
+#include "gen/seed_selector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace metablink::gen {
+
+namespace {
+std::unordered_set<std::string> TokenSet(const std::string& s) {
+  text::Tokenizer tok;
+  auto v = tok.Tokenize(s);
+  return std::unordered_set<std::string>(v.begin(), v.end());
+}
+}  // namespace
+
+std::vector<data::LinkingExample> FilterSeeds(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& synthetic,
+    std::size_t max_seeds) {
+  text::Tokenizer tokenizer;
+  struct Scored {
+    const data::LinkingExample* ex;
+    double score;
+  };
+  std::vector<Scored> kept;
+  for (const auto& ex : synthetic) {
+    if (ex.entity_id >= kb.num_entities()) continue;
+    const auto mention_tokens = tokenizer.Tokenize(ex.mention);
+    if (mention_tokens.empty() || mention_tokens.size() > 4) continue;
+    const kb::Entity& entity = kb.entity(ex.entity_id);
+    const auto title_set = TokenSet(entity.title);
+    const auto desc_tokens = tokenizer.Tokenize(entity.description);
+    const std::unordered_set<std::string> desc_set(desc_tokens.begin(),
+                                                   desc_tokens.end());
+    bool overlaps_title = false;
+    bool all_in_description = true;
+    for (const auto& t : mention_tokens) {
+      if (title_set.count(t) > 0) overlaps_title = true;
+      if (desc_set.count(t) == 0) all_in_description = false;
+    }
+    if (overlaps_title || !all_in_description) continue;
+    // Prefer rarer (more discriminative) mention words: score by the
+    // inverse of how often the words recur in the description.
+    double score = 0.0;
+    for (const auto& t : mention_tokens) {
+      score += 1.0 / static_cast<double>(1 + std::count(desc_tokens.begin(),
+                                                        desc_tokens.end(), t));
+    }
+    kept.push_back({&ex, score / static_cast<double>(mention_tokens.size())});
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<data::LinkingExample> out;
+  for (const auto& s : kept) {
+    if (out.size() >= max_seeds) break;
+    data::LinkingExample ex = *s.ex;
+    ex.source = data::ExampleSource::kGold;  // treated as trusted seed
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::vector<data::LinkingExample> SelfMatchSeeds(const kb::KnowledgeBase& kb,
+                                                 const std::string& domain,
+                                                 std::size_t max_seeds) {
+  text::Tokenizer tokenizer;
+  std::vector<data::LinkingExample> out;
+  for (kb::EntityId id : kb.EntitiesInDomain(domain)) {
+    if (out.size() >= max_seeds) break;
+    const kb::Entity& entity = kb.entity(id);
+    std::string phrase;
+    const std::string base = text::StripDisambiguation(entity.title, &phrase);
+    if (phrase.empty()) continue;
+    const auto base_tokens = tokenizer.Tokenize(base);
+    if (base_tokens.empty()) continue;
+    const auto desc_tokens = tokenizer.Tokenize(entity.description);
+    // Find the base title as a contiguous token run in the description.
+    std::size_t pos = desc_tokens.size();
+    for (std::size_t i = 0; i + base_tokens.size() <= desc_tokens.size();
+         ++i) {
+      bool match = true;
+      for (std::size_t k = 0; k < base_tokens.size(); ++k) {
+        if (desc_tokens[i + k] != base_tokens[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == desc_tokens.size()) continue;
+    data::LinkingExample ex;
+    ex.mention = base;
+    ex.left_context = util::Join(
+        std::vector<std::string>(desc_tokens.begin(),
+                                 desc_tokens.begin() + pos),
+        " ");
+    ex.right_context = util::Join(
+        std::vector<std::string>(
+            desc_tokens.begin() + pos + base_tokens.size(),
+            desc_tokens.end()),
+        " ");
+    ex.entity_id = id;
+    ex.domain = domain;
+    ex.source = data::ExampleSource::kGold;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::vector<data::LinkingExample> HeuristicSeeds(
+    const kb::KnowledgeBase& kb, const std::string& domain,
+    const std::vector<data::LinkingExample>& synthetic,
+    std::size_t max_seeds) {
+  std::vector<data::LinkingExample> out =
+      SelfMatchSeeds(kb, domain, max_seeds / 2);
+  const std::size_t remaining = max_seeds - out.size();
+  for (auto& ex : FilterSeeds(kb, synthetic, remaining)) {
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace metablink::gen

@@ -1,0 +1,49 @@
+#ifndef METABLINK_GEN_SEED_SELECTOR_H_
+#define METABLINK_GEN_SEED_SELECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "util/rng.h"
+
+namespace metablink::gen {
+
+/// Zero-shot seed heuristics (Sec. VI-C): with no labeled target-domain data
+/// at all, MetaBLINK still needs a small trusted seed set for the
+/// meta-backward update. The paper builds it two ways, both implemented
+/// here.
+
+/// Strategy (1): rule-filter the synthetic data. Keeps pairs where
+///  - the mention is non-empty and within a word-count bound,
+///  - mention and entity title share no normalized tokens (so the pair
+///    cannot be solved by the surface shortcut), and
+///  - every mention word occurs in the entity description (a strong signal
+///    the rewrite is faithful).
+/// Returns at most `max_seeds`, preferring pairs whose mention words are
+/// rarer in the description corpus (more discriminative).
+std::vector<data::LinkingExample> FilterSeeds(
+    const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& synthetic,
+    std::size_t max_seeds);
+
+/// Strategy (2): self-match. For entities whose title carries a
+/// disambiguation phrase ("X (phrase)"), find the occurrence of "X" inside
+/// the entity's own description and emit it as a seed mention with the
+/// surrounding description text as context. These cover the Multiple
+/// Categories type that rewriting rarely produces.
+std::vector<data::LinkingExample> SelfMatchSeeds(const kb::KnowledgeBase& kb,
+                                                 const std::string& domain,
+                                                 std::size_t max_seeds);
+
+/// Paper recipe: combine both strategies, self-match first, then filtered
+/// synthetic pairs, up to `max_seeds` total.
+std::vector<data::LinkingExample> HeuristicSeeds(
+    const kb::KnowledgeBase& kb, const std::string& domain,
+    const std::vector<data::LinkingExample>& synthetic, std::size_t max_seeds);
+
+}  // namespace metablink::gen
+
+#endif  // METABLINK_GEN_SEED_SELECTOR_H_

@@ -1,0 +1,27 @@
+#ifndef METABLINK_KB_ENTITY_H_
+#define METABLINK_KB_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace metablink::kb {
+
+/// Unique entity identifier within a KnowledgeBase.
+using EntityId = std::uint32_t;
+
+/// Sentinel "no entity".
+inline constexpr EntityId kInvalidEntityId = 0xFFFFFFFFu;
+
+/// An entity in the knowledge base, described (as in Wikia/Zeshel) by a
+/// title and a free-text description, and belonging to exactly one domain
+/// (a specialized entity dictionary in the paper's terminology).
+struct Entity {
+  EntityId id = kInvalidEntityId;
+  std::string title;
+  std::string description;
+  std::string domain;
+};
+
+}  // namespace metablink::kb
+
+#endif  // METABLINK_KB_ENTITY_H_

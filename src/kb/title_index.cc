@@ -1,0 +1,43 @@
+#include "kb/title_index.h"
+
+#include "text/tokenizer.h"
+
+namespace metablink::kb {
+
+namespace {
+const std::vector<EntityId> kEmpty;
+}  // namespace
+
+TitleIndex::TitleIndex(const KnowledgeBase& kb, std::string domain) {
+  for (const Entity& e : kb.entities()) {
+    if (!domain.empty() && e.domain != domain) continue;
+    ++num_indexed_;
+    const std::string norm = text::NormalizeForMatch(e.title);
+    exact_[norm].push_back(e.id);
+    std::string phrase;
+    const std::string stripped = text::StripDisambiguation(e.title, &phrase);
+    if (!phrase.empty()) {
+      base_[text::NormalizeForMatch(stripped)].push_back(e.id);
+    }
+  }
+}
+
+const std::vector<EntityId>& TitleIndex::LookupExact(
+    std::string_view mention) const {
+  auto it = exact_.find(text::NormalizeForMatch(mention));
+  return it == exact_.end() ? kEmpty : it->second;
+}
+
+const std::vector<EntityId>& TitleIndex::LookupBase(
+    std::string_view mention) const {
+  auto it = base_.find(text::NormalizeForMatch(mention));
+  return it == base_.end() ? kEmpty : it->second;
+}
+
+std::vector<EntityId> TitleIndex::LookupAll(std::string_view mention) const {
+  std::vector<EntityId> out = LookupExact(mention);
+  for (EntityId id : LookupBase(mention)) out.push_back(id);
+  return out;
+}
+
+}  // namespace metablink::kb

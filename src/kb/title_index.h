@@ -1,0 +1,45 @@
+#ifndef METABLINK_KB_TITLE_INDEX_H_
+#define METABLINK_KB_TITLE_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace metablink::kb {
+
+/// Exact-match index from normalized title text to entity ids, optionally
+/// restricted to one domain. Backs both the Name Matching baseline and the
+/// Exact Matching weak-supervision step: a mention whose normalized text
+/// equals a title (or a title minus its disambiguation phrase) hits here.
+class TitleIndex {
+ public:
+  /// Builds the index over all entities of `kb` whose domain equals
+  /// `domain`, or over every entity if `domain` is empty. The KnowledgeBase
+  /// must outlive the index.
+  TitleIndex(const KnowledgeBase& kb, std::string domain = "");
+
+  /// Entities whose full normalized title equals normalized `mention`.
+  const std::vector<EntityId>& LookupExact(std::string_view mention) const;
+
+  /// Entities whose title *minus a trailing disambiguation phrase* equals
+  /// normalized `mention` (the paper's Multiple Categories situation:
+  /// title = mention + " (phrase)"). Excludes exact full-title matches.
+  const std::vector<EntityId>& LookupBase(std::string_view mention) const;
+
+  /// Union of LookupExact and LookupBase, exact matches first.
+  std::vector<EntityId> LookupAll(std::string_view mention) const;
+
+  std::size_t num_indexed() const { return num_indexed_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<EntityId>> exact_;
+  std::unordered_map<std::string, std::vector<EntityId>> base_;
+  std::size_t num_indexed_ = 0;
+};
+
+}  // namespace metablink::kb
+
+#endif  // METABLINK_KB_TITLE_INDEX_H_

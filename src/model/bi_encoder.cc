@@ -1,0 +1,104 @@
+#include "model/bi_encoder.h"
+
+#include <numeric>
+
+#include "util/serialize.h"
+
+namespace metablink::model {
+
+BiEncoder::BiEncoder(BiEncoderConfig config, util::Rng* rng)
+    : config_(config), featurizer_(config.features) {
+  const std::size_t buckets = featurizer_.num_buckets();
+  const std::size_t d = config_.dim;
+  // Small-normal embedding init keeps initial bag norms well-scaled.
+  mention_table_ = params_.CreateEmbedding("mention_table", buckets, d, 0.1f, rng);
+  mention_proj_ = params_.CreateXavier("mention_proj", d, d, rng);
+  mention_bias_ = params_.Create("mention_bias", 1, d);
+  entity_table_ = params_.CreateEmbedding("entity_table", buckets, d, 0.1f, rng);
+  entity_proj_ = params_.CreateXavier("entity_proj", d, d, rng);
+  entity_bias_ = params_.Create("entity_bias", 1, d);
+}
+
+tensor::Var BiEncoder::EncodeBags(
+    tensor::Graph* graph, std::vector<std::vector<std::uint32_t>> bags,
+    tensor::Parameter* table, tensor::Parameter* proj,
+    tensor::Parameter* bias) const {
+  (void)bias;
+  tensor::Var pooled = graph->EmbeddingBagMean(table, std::move(bags));
+  tensor::Var hidden = graph->Tanh(pooled);
+  // No bias before the L2 normalization: a shared offset direction adds a
+  // large example-independent component to every per-example gradient,
+  // which drowns the meta reweighting signal (gradient dot products).
+  tensor::Var projected = graph->MatMul(hidden, graph->Param(proj));
+  return graph->RowL2Normalize(projected);
+}
+
+tensor::Var BiEncoder::EncodeMentions(
+    tensor::Graph* graph,
+    const std::vector<data::LinkingExample>& examples) const {
+  std::vector<std::vector<std::uint32_t>> bags;
+  bags.reserve(examples.size());
+  for (const auto& ex : examples) bags.push_back(featurizer_.MentionBag(ex));
+  return EncodeBags(graph, std::move(bags), mention_table_, mention_proj_,
+                    mention_bias_);
+}
+
+tensor::Var BiEncoder::EncodeEntities(
+    tensor::Graph* graph, const std::vector<kb::Entity>& entities) const {
+  std::vector<std::vector<std::uint32_t>> bags;
+  bags.reserve(entities.size());
+  for (const auto& e : entities) bags.push_back(featurizer_.EntityBag(e));
+  return EncodeBags(graph, std::move(bags), entity_table_, entity_proj_,
+                    entity_bias_);
+}
+
+tensor::Var BiEncoder::InBatchLoss(
+    tensor::Graph* graph, const std::vector<data::LinkingExample>& examples,
+    const kb::KnowledgeBase& kb) const {
+  std::vector<kb::Entity> entities;
+  entities.reserve(examples.size());
+  for (const auto& ex : examples) entities.push_back(kb.entity(ex.entity_id));
+  tensor::Var mentions = EncodeMentions(graph, examples);
+  tensor::Var ents = EncodeEntities(graph, entities);
+  // Scores scaled up so softmax over unit-vector dot products (range
+  // [-1, 1]) has usable dynamic range — a fixed inverse temperature.
+  tensor::Var scores = graph->Scale(graph->MatMulTransposeB(mentions, ents),
+                                    10.0f);
+  std::vector<std::size_t> targets(examples.size());
+  std::iota(targets.begin(), targets.end(), 0);
+  return graph->SoftmaxCrossEntropy(scores, std::move(targets));
+}
+
+tensor::Tensor BiEncoder::EmbedEntityIds(const std::vector<kb::EntityId>& ids,
+                                         const kb::KnowledgeBase& kb) const {
+  std::vector<kb::Entity> entities;
+  entities.reserve(ids.size());
+  for (kb::EntityId id : ids) entities.push_back(kb.entity(id));
+  tensor::Graph graph;
+  tensor::Var v = EncodeEntities(&graph, entities);
+  return graph.value(v);
+}
+
+tensor::Tensor BiEncoder::EmbedMentions(
+    const std::vector<data::LinkingExample>& examples) const {
+  tensor::Graph graph;
+  tensor::Var v = EncodeMentions(&graph, examples);
+  return graph.value(v);
+}
+
+util::Status BiEncoder::SaveToFile(const std::string& path) const {
+  util::BinaryWriter writer;
+  writer.WriteU32(0x4249u);  // "BI" tag
+  params_.Save(&writer);
+  return writer.WriteToFile(path);
+}
+
+util::Status BiEncoder::LoadFromFile(const std::string& path) {
+  auto reader = util::BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  std::uint32_t tag = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
+  return params_.Load(&*reader);
+}
+
+}  // namespace metablink::model

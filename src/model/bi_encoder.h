@@ -1,0 +1,90 @@
+#ifndef METABLINK_MODEL_BI_ENCODER_H_
+#define METABLINK_MODEL_BI_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "model/features.h"
+#include "tensor/graph.h"
+#include "tensor/parameter.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::model {
+
+/// Bi-encoder hyperparameters.
+struct BiEncoderConfig {
+  FeatureConfig features;
+  /// Embedding / representation dimension.
+  std::size_t dim = 64;
+};
+
+/// BLINK-style bi-encoder: two independent towers (ENCODER^m, ENCODER^e of
+/// eq. 3-4) embed mentions-with-context and entities-with-description into a
+/// shared d-dimensional space; the match score (eq. 5) is the dot product of
+/// L2-normalized representations, and training uses the in-batch-negatives
+/// loss of eq. 6. Stage-1 candidate generation retrieves the top-64 entities
+/// by this score.
+///
+/// Each tower is EmbeddingBag(hashed features) -> tanh -> Linear -> L2-norm.
+class BiEncoder {
+ public:
+  /// Builds a freshly initialized model.
+  BiEncoder(BiEncoderConfig config, util::Rng* rng);
+
+  /// Encodes a batch of mentions; returns a [n, dim] Var of unit rows.
+  tensor::Var EncodeMentions(
+      tensor::Graph* graph,
+      const std::vector<data::LinkingExample>& examples) const;
+
+  /// Encodes a batch of entities; returns a [n, dim] Var of unit rows.
+  tensor::Var EncodeEntities(tensor::Graph* graph,
+                             const std::vector<kb::Entity>& entities) const;
+
+  /// Per-example in-batch-negatives loss (eq. 6): the batch's entities act
+  /// as each other's negatives. Returns a [n,1] Var of losses.
+  tensor::Var InBatchLoss(tensor::Graph* graph,
+                          const std::vector<data::LinkingExample>& examples,
+                          const kb::KnowledgeBase& kb) const;
+
+  /// Inference: embeds all `ids` without building gradient state the caller
+  /// cares about. Returns a [ids.size(), dim] tensor.
+  tensor::Tensor EmbedEntityIds(const std::vector<kb::EntityId>& ids,
+                                const kb::KnowledgeBase& kb) const;
+
+  /// Inference: embeds mentions. Returns [examples.size(), dim].
+  tensor::Tensor EmbedMentions(
+      const std::vector<data::LinkingExample>& examples) const;
+
+  tensor::ParameterStore* params() { return &params_; }
+  const tensor::ParameterStore* params() const { return &params_; }
+  const Featurizer& featurizer() const { return featurizer_; }
+  std::size_t dim() const { return config_.dim; }
+
+  /// Checkpointing.
+  util::Status SaveToFile(const std::string& path) const;
+  util::Status LoadFromFile(const std::string& path);
+
+ private:
+  tensor::Var EncodeBags(tensor::Graph* graph,
+                         std::vector<std::vector<std::uint32_t>> bags,
+                         tensor::Parameter* table, tensor::Parameter* proj,
+                         tensor::Parameter* bias) const;
+
+  BiEncoderConfig config_;
+  Featurizer featurizer_;
+  tensor::ParameterStore params_;
+  tensor::Parameter* mention_table_;
+  tensor::Parameter* mention_proj_;
+  tensor::Parameter* mention_bias_;
+  tensor::Parameter* entity_table_;
+  tensor::Parameter* entity_proj_;
+  tensor::Parameter* entity_bias_;
+};
+
+}  // namespace metablink::model
+
+#endif  // METABLINK_MODEL_BI_ENCODER_H_

@@ -1,0 +1,90 @@
+#include "model/cross_encoder.h"
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace metablink::model {
+
+CrossEncoder::CrossEncoder(CrossEncoderConfig config, util::Rng* rng)
+    : config_(config), featurizer_(config.features) {
+  const std::size_t buckets = featurizer_.num_buckets();
+  const std::size_t d = config_.dim;
+  const std::size_t in = 3 * d + kNumOverlapFeatures;
+  table_ = params_.CreateEmbedding("cross_table", buckets, d, 0.1f, rng);
+  w1_ = params_.CreateXavier("cross_w1", in, config_.hidden, rng);
+  b1_ = params_.Create("cross_b1", 1, config_.hidden);
+  w2_ = params_.CreateXavier("cross_w2", config_.hidden, 1, rng);
+  b2_ = params_.Create("cross_b2", 1, 1);
+}
+
+tensor::Var CrossEncoder::ScoreCandidates(
+    tensor::Graph* graph, const data::LinkingExample& example,
+    const std::vector<kb::Entity>& candidates) const {
+  METABLINK_CHECK(!candidates.empty()) << "no candidates to score";
+  const std::size_t c = candidates.size();
+  // The mention is identical for every candidate row: encode it once and
+  // broadcast.
+  std::vector<std::vector<std::uint32_t>> mention_bag(
+      1, featurizer_.MentionBag(example));
+  std::vector<std::vector<std::uint32_t>> entity_bags;
+  entity_bags.reserve(c);
+  tensor::Tensor overlaps(c, kNumOverlapFeatures);
+  for (std::size_t i = 0; i < c; ++i) {
+    entity_bags.push_back(featurizer_.EntityBag(candidates[i]));
+    const auto feats = featurizer_.OverlapFeatures(example, candidates[i]);
+    for (std::size_t f = 0; f < kNumOverlapFeatures; ++f) {
+      overlaps.at(i, f) = feats[f];
+    }
+  }
+  tensor::Var m = graph->BroadcastRow(
+      graph->Tanh(graph->EmbeddingBagMean(table_, std::move(mention_bag))),
+      c);
+  tensor::Var e =
+      graph->Tanh(graph->EmbeddingBagMean(table_, std::move(entity_bags)));
+  tensor::Var interaction = graph->Mul(m, e);
+  tensor::Var joint = graph->ConcatCols(graph->ConcatCols(m, e), interaction);
+  tensor::Var input =
+      graph->ConcatCols(joint, graph->Input(std::move(overlaps)));
+  tensor::Var hidden = graph->Tanh(graph->AddBiasRow(
+      graph->MatMul(input, graph->Param(w1_)), graph->Param(b1_)));
+  return graph->AddBiasRow(graph->MatMul(hidden, graph->Param(w2_)),
+                           graph->Param(b2_));
+}
+
+tensor::Var CrossEncoder::RankingLoss(
+    tensor::Graph* graph, const data::LinkingExample& example,
+    const std::vector<kb::Entity>& candidates, std::size_t gold_index) const {
+  METABLINK_CHECK(gold_index < candidates.size()) << "gold index out of range";
+  tensor::Var scores = ScoreCandidates(graph, example, candidates);
+  tensor::Var row = graph->Reshape(scores, 1, candidates.size());
+  return graph->SoftmaxCrossEntropy(row, {gold_index});
+}
+
+std::vector<float> CrossEncoder::Score(
+    const data::LinkingExample& example,
+    const std::vector<kb::Entity>& candidates) const {
+  tensor::Graph graph;
+  tensor::Var scores = ScoreCandidates(&graph, example, candidates);
+  std::vector<float> out(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = graph.value(scores).at(i, 0);
+  }
+  return out;
+}
+
+util::Status CrossEncoder::SaveToFile(const std::string& path) const {
+  util::BinaryWriter writer;
+  writer.WriteU32(0x4352u);  // "CR" tag
+  params_.Save(&writer);
+  return writer.WriteToFile(path);
+}
+
+util::Status CrossEncoder::LoadFromFile(const std::string& path) {
+  auto reader = util::BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  std::uint32_t tag = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
+  return params_.Load(&*reader);
+}
+
+}  // namespace metablink::model

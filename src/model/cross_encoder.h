@@ -1,0 +1,72 @@
+#ifndef METABLINK_MODEL_CROSS_ENCODER_H_
+#define METABLINK_MODEL_CROSS_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "model/features.h"
+#include "tensor/graph.h"
+#include "tensor/parameter.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::model {
+
+/// Cross-encoder hyperparameters.
+struct CrossEncoderConfig {
+  FeatureConfig features;
+  /// Embedding dimension of the joint representation.
+  std::size_t dim = 64;
+  /// Hidden width of the scoring MLP.
+  std::size_t hidden = 64;
+};
+
+/// BLINK-style cross-encoder: stage-2 ranker that jointly reads the mention
+/// (with context) and a candidate entity (with description) and outputs a
+/// relevance score. Where BLINK concatenates the texts into one BERT pass,
+/// this model concatenates [mention_vec, entity_vec, mention_vec *
+/// entity_vec, dense overlap features] and scores with an MLP — a joint
+/// interaction representation the bi-encoder cannot express.
+class CrossEncoder {
+ public:
+  CrossEncoder(CrossEncoderConfig config, util::Rng* rng);
+
+  /// Scores every candidate for one mention; returns a [c, 1] Var.
+  tensor::Var ScoreCandidates(tensor::Graph* graph,
+                              const data::LinkingExample& example,
+                              const std::vector<kb::Entity>& candidates) const;
+
+  /// Softmax cross-entropy ranking loss over the candidate list; returns a
+  /// [1,1] Var. Pre: gold_index < candidates.size().
+  tensor::Var RankingLoss(tensor::Graph* graph,
+                          const data::LinkingExample& example,
+                          const std::vector<kb::Entity>& candidates,
+                          std::size_t gold_index) const;
+
+  /// Inference scores for the candidates (no gradients kept).
+  std::vector<float> Score(const data::LinkingExample& example,
+                           const std::vector<kb::Entity>& candidates) const;
+
+  tensor::ParameterStore* params() { return &params_; }
+  const tensor::ParameterStore* params() const { return &params_; }
+  const Featurizer& featurizer() const { return featurizer_; }
+
+  util::Status SaveToFile(const std::string& path) const;
+  util::Status LoadFromFile(const std::string& path);
+
+ private:
+  CrossEncoderConfig config_;
+  Featurizer featurizer_;
+  tensor::ParameterStore params_;
+  tensor::Parameter* table_;      // shared embedding table for both texts
+  tensor::Parameter* w1_;         // [3*dim + kNumOverlapFeatures, hidden]
+  tensor::Parameter* b1_;         // [1, hidden]
+  tensor::Parameter* w2_;         // [hidden, 1]
+  tensor::Parameter* b2_;         // [1, 1]
+};
+
+}  // namespace metablink::model
+
+#endif  // METABLINK_MODEL_CROSS_ENCODER_H_

@@ -1,0 +1,76 @@
+#include "model/features.h"
+
+#include <unordered_set>
+
+#include "text/string_metrics.h"
+
+namespace metablink::model {
+
+namespace {
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::unordered_set<std::string>(v.begin(), v.end());
+}
+
+float FractionIn(const std::vector<std::string>& tokens,
+                 const std::unordered_set<std::string>& set) {
+  if (tokens.empty()) return 0.0f;
+  std::size_t hits = 0;
+  for (const auto& t : tokens) {
+    if (set.count(t) > 0) ++hits;
+  }
+  return static_cast<float>(hits) / static_cast<float>(tokens.size());
+}
+}  // namespace
+
+Featurizer::Featurizer(FeatureConfig config) : hasher_(config.hasher) {}
+
+std::vector<std::uint32_t> Featurizer::MentionBag(
+    const data::LinkingExample& example) const {
+  std::vector<std::uint32_t> bag;
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.mention),
+                             kFieldMention, &bag);
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.left_context),
+                             kFieldContext, &bag);
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.right_context),
+                             kFieldContext, &bag);
+  return bag;
+}
+
+std::vector<std::uint32_t> Featurizer::EntityBag(
+    const kb::Entity& entity) const {
+  std::vector<std::uint32_t> bag;
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(entity.title), kFieldTitle,
+                             &bag);
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(entity.description),
+                             kFieldDescription, &bag);
+  return bag;
+}
+
+std::vector<float> Featurizer::OverlapFeatures(
+    const data::LinkingExample& example, const kb::Entity& entity) const {
+  const auto mention_tokens = tokenizer_.Tokenize(example.mention);
+  const auto title_tokens = tokenizer_.Tokenize(entity.title);
+  const auto desc_tokens = tokenizer_.Tokenize(entity.description);
+  auto context_tokens = tokenizer_.Tokenize(example.left_context);
+  for (auto& t : tokenizer_.Tokenize(example.right_context)) {
+    context_tokens.push_back(std::move(t));
+  }
+  const auto desc_set = ToSet(desc_tokens);
+
+  const auto category = text::ClassifyOverlap(example.mention, entity.title);
+  std::vector<float> feats(kNumOverlapFeatures, 0.0f);
+  feats[0] = category == text::OverlapCategory::kHighOverlap ? 1.0f : 0.0f;
+  feats[1] = (category == text::OverlapCategory::kAmbiguousSubstring ||
+              category == text::OverlapCategory::kMultipleCategories)
+                 ? 1.0f
+                 : 0.0f;
+  feats[2] = static_cast<float>(text::TokenJaccard(mention_tokens,
+                                                   title_tokens));
+  feats[3] = static_cast<float>(text::TokenJaccard(context_tokens,
+                                                   desc_tokens));
+  feats[4] = FractionIn(mention_tokens, desc_set);
+  feats[5] = FractionIn(context_tokens, desc_set);
+  return feats;
+}
+
+}  // namespace metablink::model

@@ -1,0 +1,63 @@
+#ifndef METABLINK_MODEL_FEATURES_H_
+#define METABLINK_MODEL_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/entity.h"
+#include "text/feature_hashing.h"
+#include "text/tokenizer.h"
+
+namespace metablink::model {
+
+/// Field seeds separating the hashed feature spaces of the different text
+/// fields (mention surface vs. context vs. title vs. description).
+enum FieldSeed : std::uint64_t {
+  kFieldMention = 11,
+  kFieldContext = 22,
+  kFieldTitle = 33,
+  kFieldDescription = 44,
+};
+
+/// Number of dense overlap features produced by OverlapFeatures().
+inline constexpr std::size_t kNumOverlapFeatures = 6;
+
+/// Shared featurization config for both encoders.
+struct FeatureConfig {
+  text::FeatureHasherOptions hasher;
+};
+
+/// Converts examples and entities into hashed feature bags — the input
+/// representation of both encoders (the stand-in for BERT's tokenizer +
+/// embedding layer; see DESIGN.md §1).
+class Featurizer {
+ public:
+  explicit Featurizer(FeatureConfig config = {});
+
+  /// Mention-side bag: mention tokens (kFieldMention) + left/right context
+  /// tokens (kFieldContext). This is ENCODER^m's input (eq. 3).
+  std::vector<std::uint32_t> MentionBag(
+      const data::LinkingExample& example) const;
+
+  /// Entity-side bag: title tokens (kFieldTitle) + description tokens
+  /// (kFieldDescription). This is ENCODER^e's input (eq. 4).
+  std::vector<std::uint32_t> EntityBag(const kb::Entity& entity) const;
+
+  /// Dense lexical-interaction features for the cross-encoder:
+  /// [mention==title, mention substring-of title, jaccard(mention, title),
+  ///  jaccard(context, description), fraction of mention tokens in
+  ///  description, fraction of context tokens in description].
+  std::vector<float> OverlapFeatures(const data::LinkingExample& example,
+                                     const kb::Entity& entity) const;
+
+  std::uint32_t num_buckets() const { return hasher_.num_buckets(); }
+
+ private:
+  text::Tokenizer tokenizer_;
+  text::FeatureHasher hasher_;
+};
+
+}  // namespace metablink::model
+
+#endif  // METABLINK_MODEL_FEATURES_H_

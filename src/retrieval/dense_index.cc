@@ -1,0 +1,57 @@
+#include "retrieval/dense_index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace metablink::retrieval {
+
+util::Status DenseIndex::Build(tensor::Tensor embeddings,
+                               std::vector<kb::EntityId> ids) {
+  if (embeddings.rows() != ids.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "embedding rows (%zu) != id count (%zu)", embeddings.rows(),
+        ids.size()));
+  }
+  if (ids.empty()) {
+    return util::Status::InvalidArgument("cannot build an empty index");
+  }
+  embeddings_ = std::move(embeddings);
+  ids_ = std::move(ids);
+  return util::Status::OK();
+}
+
+std::vector<ScoredEntity> DenseIndex::TopK(const float* query,
+                                           std::size_t k) const {
+  k = std::min(k, ids_.size());
+  // Max-heap-free selection: keep a sorted partial list via nth_element on
+  // the full score array (n is modest; exactness matters more than speed).
+  std::vector<ScoredEntity> scored(ids_.size());
+  const std::size_t d = embeddings_.cols();
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    scored[i].id = ids_[i];
+    scored[i].score = tensor::Dot(query, embeddings_.row_data(i), d);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const ScoredEntity& a, const ScoredEntity& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;  // deterministic tie-break
+                    });
+  scored.resize(k);
+  return scored;
+}
+
+std::vector<std::vector<ScoredEntity>> DenseIndex::BatchTopK(
+    const tensor::Tensor& queries, std::size_t k,
+    util::ThreadPool* pool) const {
+  std::vector<std::vector<ScoredEntity>> out(queries.rows());
+  auto run = [&](std::size_t i) { out[i] = TopK(queries.row_data(i), k); };
+  if (pool != nullptr) {
+    pool->ParallelFor(queries.rows(), run);
+  } else {
+    for (std::size_t i = 0; i < queries.rows(); ++i) run(i);
+  }
+  return out;
+}
+
+}  // namespace metablink::retrieval

@@ -1,0 +1,58 @@
+#ifndef METABLINK_RETRIEVAL_DENSE_INDEX_H_
+#define METABLINK_RETRIEVAL_DENSE_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kb/entity.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metablink::retrieval {
+
+/// One retrieval hit.
+struct ScoredEntity {
+  kb::EntityId id = kb::kInvalidEntityId;
+  float score = 0.0f;
+};
+
+/// Exact top-k dense retrieval over an entity embedding matrix (stage 1 of
+/// the two-stage protocol). Inner-product scores; embeddings are typically
+/// L2-normalized so this is cosine ranking. Brute force with optional
+/// multi-threaded query batching — exact by construction, which keeps R@64
+/// measurements free of ANN artifacts.
+class DenseIndex {
+ public:
+  DenseIndex() = default;
+
+  /// Builds the index. `embeddings` row i is the vector of `ids[i]`.
+  /// Pre: embeddings.rows() == ids.size().
+  util::Status Build(tensor::Tensor embeddings, std::vector<kb::EntityId> ids);
+
+  std::size_t size() const { return ids_.size(); }
+  std::size_t dim() const { return embeddings_.cols(); }
+  bool built() const { return !ids_.empty(); }
+
+  /// Top-k by inner product for one query of length dim().
+  std::vector<ScoredEntity> TopK(const float* query, std::size_t k) const;
+
+  /// Top-k for every row of `queries` ([n, dim]); parallelized over `pool`
+  /// when provided.
+  std::vector<std::vector<ScoredEntity>> BatchTopK(
+      const tensor::Tensor& queries, std::size_t k,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// The raw stored embedding row for position `i` (test/diagnostic use).
+  const float* EmbeddingAt(std::size_t i) const {
+    return embeddings_.row_data(i);
+  }
+
+ private:
+  tensor::Tensor embeddings_;
+  std::vector<kb::EntityId> ids_;
+};
+
+}  // namespace metablink::retrieval
+
+#endif  // METABLINK_RETRIEVAL_DENSE_INDEX_H_

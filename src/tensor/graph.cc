@@ -1,0 +1,574 @@
+#include "tensor/graph.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace metablink::tensor {
+
+Var Graph::AddNode(Tensor value, std::function<void(Graph*)> backward) {
+  Node n;
+  n.value = std::move(value);
+  n.grad = Tensor(n.value.rows(), n.value.cols());
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<std::int32_t>(nodes_.size() - 1)};
+}
+
+const Tensor& Graph::value(Var v) const { return node(v).value; }
+const Tensor& Graph::grad(Var v) const { return node(v).grad; }
+
+Var Graph::Input(Tensor value) { return AddNode(std::move(value), {}); }
+
+Var Graph::Param(Parameter* p) {
+  Var v = AddNode(p->value, {});
+  Var self = v;
+  node(v).backward = [self, p](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Axpy(1.0f, gr.data().data(), p->grad.data().data(), gr.size());
+  };
+  return v;
+}
+
+Var Graph::EmbeddingBagMean(Parameter* table,
+                            std::vector<std::vector<std::uint32_t>> bags) {
+  const std::size_t n = bags.size();
+  const std::size_t d = table->value.cols();
+  Tensor out(n, d);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (bags[b].empty()) continue;
+    const float inv = 1.0f / static_cast<float>(bags[b].size());
+    float* dst = out.row_data(b);
+    for (std::uint32_t id : bags[b]) {
+      METABLINK_CHECK(id < table->value.rows()) << "embedding id out of range";
+      Axpy(inv, table->value.row_data(id), dst, d);
+    }
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  auto shared_bags =
+      std::make_shared<std::vector<std::vector<std::uint32_t>>>(
+          std::move(bags));
+  node(v).backward = [self, table, shared_bags](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const std::size_t d = table->value.cols();
+    for (std::size_t b = 0; b < shared_bags->size(); ++b) {
+      const auto& bag = (*shared_bags)[b];
+      if (bag.empty()) continue;
+      const float* src = gr.row_data(b);
+      // Skip rows with no incoming gradient (common during the meta
+      // trainer's one-hot per-example backward passes).
+      bool any = false;
+      for (std::size_t c = 0; c < d; ++c) {
+        if (src[c] != 0.0f) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      const float inv = 1.0f / static_cast<float>(bag.size());
+      for (std::uint32_t id : bag) {
+        table->TouchRow(id);
+        Axpy(inv, src, table->grad.row_data(id), d);
+      }
+    }
+  };
+  return v;
+}
+
+Var Graph::MatMul(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.cols() == tb.rows()) << "MatMul shape mismatch";
+  const std::size_t n = ta.rows(), k = ta.cols(), m = tb.cols();
+  Tensor out(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = ta.row_data(i);
+    float* orow = out.row_data(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      Axpy(av, tb.row_data(p), orow, m);
+    }
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& ta = g->node(a).value;
+    const Tensor& tb = g->node(b).value;
+    Tensor& ga = g->node(a).grad;
+    Tensor& gb = g->node(b).grad;
+    const std::size_t n = ta.rows(), k = ta.cols(), m = tb.cols();
+    // dA = dOut * B^T
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* grow = gr.row_data(i);
+      float* garow = ga.row_data(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        garow[p] += Dot(grow, tb.row_data(p), m);
+      }
+    }
+    // dB = A^T * dOut
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* arow = ta.row_data(i);
+      const float* grow = gr.row_data(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        Axpy(av, grow, gb.row_data(p), m);
+      }
+    }
+  };
+  return v;
+}
+
+Var Graph::MatMulTransposeB(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.cols() == tb.cols()) << "MatMulTransposeB shape mismatch";
+  const std::size_t n = ta.rows(), d = ta.cols(), m = tb.rows();
+  Tensor out(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = ta.row_data(i);
+    float* orow = out.row_data(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      orow[j] = Dot(arow, tb.row_data(j), d);
+    }
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& ta = g->node(a).value;
+    const Tensor& tb = g->node(b).value;
+    Tensor& ga = g->node(a).grad;
+    Tensor& gb = g->node(b).grad;
+    const std::size_t n = ta.rows(), d = ta.cols(), m = tb.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* grow = gr.row_data(i);
+      float* garow = ga.row_data(i);
+      for (std::size_t j = 0; j < m; ++j) {
+        const float gv = grow[j];
+        if (gv == 0.0f) continue;
+        Axpy(gv, tb.row_data(j), garow, d);
+        Axpy(gv, ta.row_data(i), gb.row_data(j), d);
+      }
+    }
+  };
+  return v;
+}
+
+Var Graph::AddBiasRow(Var x, Var bias) {
+  const Tensor& tx = node(x).value;
+  const Tensor& tbias = node(bias).value;
+  METABLINK_CHECK(tbias.rows() == 1 && tbias.cols() == tx.cols())
+      << "AddBiasRow shape mismatch";
+  Tensor out = tx;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    Axpy(1.0f, tbias.row_data(0), out.row_data(i), out.cols());
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x, bias](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Tensor& gx = g->node(x).grad;
+    Tensor& gbias = g->node(bias).grad;
+    Axpy(1.0f, gr.data().data(), gx.data().data(), gr.size());
+    for (std::size_t i = 0; i < gr.rows(); ++i) {
+      Axpy(1.0f, gr.row_data(i), gbias.row_data(0), gr.cols());
+    }
+  };
+  return v;
+}
+
+Var Graph::Add(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.rows() == tb.rows() && ta.cols() == tb.cols())
+      << "Add shape mismatch";
+  Tensor out = ta;
+  Axpy(1.0f, tb.data().data(), out.data().data(), out.size());
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Axpy(1.0f, gr.data().data(), g->node(a).grad.data().data(), gr.size());
+    Axpy(1.0f, gr.data().data(), g->node(b).grad.data().data(), gr.size());
+  };
+  return v;
+}
+
+Var Graph::Sub(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.rows() == tb.rows() && ta.cols() == tb.cols())
+      << "Sub shape mismatch";
+  Tensor out = ta;
+  Axpy(-1.0f, tb.data().data(), out.data().data(), out.size());
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Axpy(1.0f, gr.data().data(), g->node(a).grad.data().data(), gr.size());
+    Axpy(-1.0f, gr.data().data(), g->node(b).grad.data().data(), gr.size());
+  };
+  return v;
+}
+
+Var Graph::Mul(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.rows() == tb.rows() && ta.cols() == tb.cols())
+      << "Mul shape mismatch";
+  Tensor out = ta;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] *= tb.data()[i];
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& ta = g->node(a).value;
+    const Tensor& tb = g->node(b).value;
+    Tensor& ga = g->node(a).grad;
+    Tensor& gb = g->node(b).grad;
+    for (std::size_t i = 0; i < gr.size(); ++i) {
+      ga.data()[i] += gr.data()[i] * tb.data()[i];
+      gb.data()[i] += gr.data()[i] * ta.data()[i];
+    }
+  };
+  return v;
+}
+
+Var Graph::Scale(Var x, float s) {
+  Tensor out = node(x).value;
+  for (float& v : out.data()) v *= s;
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x, s](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Axpy(s, gr.data().data(), g->node(x).grad.data().data(), gr.size());
+  };
+  return v;
+}
+
+Var Graph::Tanh(Var x) {
+  Tensor out = node(x).value;
+  for (float& v : out.data()) v = std::tanh(v);
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& val = g->node(self).value;
+    Tensor& gx = g->node(x).grad;
+    for (std::size_t i = 0; i < gr.size(); ++i) {
+      gx.data()[i] += gr.data()[i] * (1.0f - val.data()[i] * val.data()[i]);
+    }
+  };
+  return v;
+}
+
+Var Graph::Relu(Var x) {
+  Tensor out = node(x).value;
+  for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& val = g->node(self).value;
+    Tensor& gx = g->node(x).grad;
+    for (std::size_t i = 0; i < gr.size(); ++i) {
+      if (val.data()[i] > 0.0f) gx.data()[i] += gr.data()[i];
+    }
+  };
+  return v;
+}
+
+Var Graph::Sigmoid(Var x) {
+  Tensor out = node(x).value;
+  for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& val = g->node(self).value;
+    Tensor& gx = g->node(x).grad;
+    for (std::size_t i = 0; i < gr.size(); ++i) {
+      const float s = val.data()[i];
+      gx.data()[i] += gr.data()[i] * s * (1.0f - s);
+    }
+  };
+  return v;
+}
+
+Var Graph::RowL2Normalize(Var x, float eps) {
+  const Tensor& tx = node(x).value;
+  Tensor out = tx;
+  std::vector<float> norms(tx.rows());
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    float n2 = Dot(tx.row_data(i), tx.row_data(i), tx.cols());
+    norms[i] = std::max(std::sqrt(n2), eps);
+    const float inv = 1.0f / norms[i];
+    for (std::size_t c = 0; c < tx.cols(); ++c) out.row_data(i)[c] *= inv;
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  auto shared_norms = std::make_shared<std::vector<float>>(std::move(norms));
+  node(v).backward = [self, x, shared_norms](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& y = g->node(self).value;  // normalized rows
+    Tensor& gx = g->node(x).grad;
+    const std::size_t d = gr.cols();
+    for (std::size_t i = 0; i < gr.rows(); ++i) {
+      // dx = (dy - y * (y . dy)) / ||x||
+      const float* dy = gr.row_data(i);
+      const float* yr = y.row_data(i);
+      const float ydy = Dot(yr, dy, d);
+      const float inv = 1.0f / (*shared_norms)[i];
+      float* gxr = gx.row_data(i);
+      for (std::size_t c = 0; c < d; ++c) {
+        gxr[c] += (dy[c] - yr[c] * ydy) * inv;
+      }
+    }
+  };
+  return v;
+}
+
+Var Graph::ConcatCols(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.rows() == tb.rows()) << "ConcatCols row mismatch";
+  Tensor out(ta.rows(), ta.cols() + tb.cols());
+  for (std::size_t i = 0; i < ta.rows(); ++i) {
+    float* dst = out.row_data(i);
+    std::copy(ta.row_data(i), ta.row_data(i) + ta.cols(), dst);
+    std::copy(tb.row_data(i), tb.row_data(i) + tb.cols(), dst + ta.cols());
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Tensor& ga = g->node(a).grad;
+    Tensor& gb = g->node(b).grad;
+    const std::size_t ca = ga.cols(), cb = gb.cols();
+    for (std::size_t i = 0; i < gr.rows(); ++i) {
+      Axpy(1.0f, gr.row_data(i), ga.row_data(i), ca);
+      Axpy(1.0f, gr.row_data(i) + ca, gb.row_data(i), cb);
+    }
+  };
+  return v;
+}
+
+Var Graph::ConcatRows(const std::vector<Var>& parts) {
+  METABLINK_CHECK(!parts.empty()) << "ConcatRows of nothing";
+  const std::size_t cols = node(parts[0]).value.cols();
+  std::size_t rows = 0;
+  for (Var p : parts) {
+    METABLINK_CHECK(node(p).value.cols() == cols)
+        << "ConcatRows width mismatch";
+    rows += node(p).value.rows();
+  }
+  Tensor out(rows, cols);
+  std::size_t r = 0;
+  for (Var p : parts) {
+    const Tensor& t = node(p).value;
+    std::copy(t.data().begin(), t.data().end(), out.row_data(r));
+    r += t.rows();
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  auto shared_parts = std::make_shared<std::vector<Var>>(parts);
+  node(v).backward = [self, shared_parts](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    std::size_t r = 0;
+    for (Var p : *shared_parts) {
+      Tensor& gp = g->node(p).grad;
+      Axpy(1.0f, gr.row_data(r), gp.data().data(), gp.size());
+      r += gp.rows();
+    }
+  };
+  return v;
+}
+
+Var Graph::BroadcastRow(Var row, std::size_t n) {
+  const Tensor& tr = node(row).value;
+  METABLINK_CHECK(tr.rows() == 1) << "BroadcastRow expects a [1,c] input";
+  const std::size_t c = tr.cols();
+  Tensor out(n, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(tr.row_data(0), tr.row_data(0) + c, out.row_data(i));
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, row](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Tensor& grow = g->node(row).grad;
+    for (std::size_t i = 0; i < gr.rows(); ++i) {
+      Axpy(1.0f, gr.row_data(i), grow.row_data(0), gr.cols());
+    }
+  };
+  return v;
+}
+
+Var Graph::Reshape(Var x, std::size_t rows, std::size_t cols) {
+  const Tensor& tx = node(x).value;
+  METABLINK_CHECK(rows * cols == tx.size()) << "Reshape size mismatch";
+  Tensor out(rows, cols, tx.data());
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Axpy(1.0f, gr.data().data(), g->node(x).grad.data().data(), gr.size());
+  };
+  return v;
+}
+
+Var Graph::RowDot(Var a, Var b) {
+  const Tensor& ta = node(a).value;
+  const Tensor& tb = node(b).value;
+  METABLINK_CHECK(ta.rows() == tb.rows() && ta.cols() == tb.cols())
+      << "RowDot shape mismatch";
+  Tensor out(ta.rows(), 1);
+  for (std::size_t i = 0; i < ta.rows(); ++i) {
+    out.at(i, 0) = Dot(ta.row_data(i), tb.row_data(i), ta.cols());
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, a, b](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    const Tensor& ta = g->node(a).value;
+    const Tensor& tb = g->node(b).value;
+    Tensor& ga = g->node(a).grad;
+    Tensor& gb = g->node(b).grad;
+    for (std::size_t i = 0; i < gr.rows(); ++i) {
+      const float gv = gr.at(i, 0);
+      Axpy(gv, tb.row_data(i), ga.row_data(i), ta.cols());
+      Axpy(gv, ta.row_data(i), gb.row_data(i), ta.cols());
+    }
+  };
+  return v;
+}
+
+Var Graph::SoftmaxCrossEntropy(Var logits, std::vector<std::size_t> targets) {
+  const Tensor& tl = node(logits).value;
+  METABLINK_CHECK(targets.size() == tl.rows())
+      << "SoftmaxCrossEntropy target count mismatch";
+  const std::size_t n = tl.rows(), m = tl.cols();
+  Tensor out(n, 1);
+  // Cache the softmax for the backward pass.
+  auto probs = std::make_shared<Tensor>(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    METABLINK_CHECK(targets[i] < m) << "target out of range";
+    const float* row = tl.row_data(i);
+    float mx = row[0];
+    for (std::size_t c = 1; c < m; ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < m; ++c) {
+      sum += std::exp(static_cast<double>(row[c] - mx));
+    }
+    const double logsum = std::log(sum) + mx;
+    out.at(i, 0) = static_cast<float>(logsum - row[targets[i]]);
+    for (std::size_t c = 0; c < m; ++c) {
+      probs->at(i, c) =
+          static_cast<float>(std::exp(static_cast<double>(row[c]) - logsum));
+    }
+  }
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  auto shared_targets =
+      std::make_shared<std::vector<std::size_t>>(std::move(targets));
+  node(v).backward = [self, logits, probs, shared_targets](Graph* g) {
+    const Tensor& gr = g->node(self).grad;
+    Tensor& gl = g->node(logits).grad;
+    const std::size_t m = gl.cols();
+    for (std::size_t i = 0; i < gr.rows(); ++i) {
+      const float gv = gr.at(i, 0);
+      if (gv == 0.0f) continue;
+      float* dst = gl.row_data(i);
+      const float* p = probs->row_data(i);
+      for (std::size_t c = 0; c < m; ++c) dst[c] += gv * p[c];
+      dst[(*shared_targets)[i]] -= gv;
+    }
+  };
+  return v;
+}
+
+Var Graph::Mean(Var x) {
+  const Tensor& tx = node(x).value;
+  METABLINK_CHECK(tx.size() > 0) << "Mean of empty tensor";
+  double acc = 0.0;
+  for (float v : tx.data()) acc += v;
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(acc / static_cast<double>(tx.size()));
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x](Graph* g) {
+    const float gv = g->node(self).grad.at(0, 0);
+    Tensor& gx = g->node(x).grad;
+    const float inv = gv / static_cast<float>(gx.size());
+    for (float& d : gx.data()) d += inv;
+  };
+  return v;
+}
+
+Var Graph::Sum(Var x) {
+  const Tensor& tx = node(x).value;
+  double acc = 0.0;
+  for (float v : tx.data()) acc += v;
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(acc);
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  node(v).backward = [self, x](Graph* g) {
+    const float gv = g->node(self).grad.at(0, 0);
+    Tensor& gx = g->node(x).grad;
+    for (float& d : gx.data()) d += gv;
+  };
+  return v;
+}
+
+Var Graph::WeightedSum(Var column, std::vector<float> weights) {
+  const Tensor& tc = node(column).value;
+  METABLINK_CHECK(tc.cols() == 1 && tc.rows() == weights.size())
+      << "WeightedSum shape mismatch";
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += static_cast<double>(weights[i]) * tc.at(i, 0);
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(acc);
+  Var v = AddNode(std::move(out), {});
+  Var self = v;
+  auto shared_w = std::make_shared<std::vector<float>>(std::move(weights));
+  node(v).backward = [self, column, shared_w](Graph* g) {
+    const float gv = g->node(self).grad.at(0, 0);
+    Tensor& gc = g->node(column).grad;
+    for (std::size_t i = 0; i < shared_w->size(); ++i) {
+      gc.at(i, 0) += gv * (*shared_w)[i];
+    }
+  };
+  return v;
+}
+
+void Graph::Backward(Var v) {
+  std::vector<float> seed(node(v).value.size(), 1.0f);
+  BackwardWithSeed(v, seed);
+}
+
+void Graph::BackwardWithSeed(Var v, const std::vector<float>& seed) {
+  Node& root = node(v);
+  METABLINK_CHECK(seed.size() == root.value.size()) << "seed size mismatch";
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    root.grad.data()[i] += seed[i];
+  }
+  for (std::int32_t id = v.id; id >= 0; --id) {
+    Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.backward) n.backward(this);
+  }
+}
+
+void Graph::ResetGrads() {
+  for (Node& n : nodes_) n.grad.SetZero();
+}
+
+}  // namespace metablink::tensor

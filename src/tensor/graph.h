@@ -1,0 +1,148 @@
+#ifndef METABLINK_TENSOR_GRAPH_H_
+#define METABLINK_TENSOR_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/parameter.h"
+#include "tensor/tensor.h"
+
+namespace metablink::tensor {
+
+/// Handle to a node in a Graph.
+struct Var {
+  std::int32_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Reverse-mode autodiff over dense matrices.
+///
+/// A Graph is a single-use tape: build the forward computation with the op
+/// methods, then call Backward() (possibly several times with different
+/// seeds, after ResetGrads()). Gradients w.r.t. Parameter leaves accumulate
+/// into Parameter::grad, so callers typically do:
+///
+///   store.ZeroGrads();
+///   Graph g;
+///   Var loss = ...;           // build forward pass
+///   g.Backward(loss);         // fills Parameter::grad
+///   optimizer.Step(&store);
+///
+/// The per-example meta-gradient computation (Algorithm 1) re-runs Backward
+/// with one-hot row seeds over the same tape; see train::MetaReweightTrainer.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // ---- Leaves -----------------------------------------------------------
+
+  /// Constant input; receives no parameter gradient.
+  Var Input(Tensor value);
+
+  /// Parameter leaf: the whole matrix participates in the computation and
+  /// its gradient accumulates into `p->grad` during Backward().
+  Var Param(Parameter* p);
+
+  // ---- Ops ---------------------------------------------------------------
+
+  /// Mean-pooled embedding-bag lookup: for each bag b of feature ids,
+  /// out[b] = mean_{i in bag} table[i]. Empty bags produce a zero row.
+  /// Gradients scatter directly into `table->grad`.
+  Var EmbeddingBagMean(Parameter* table,
+                       std::vector<std::vector<std::uint32_t>> bags);
+
+  /// Matrix product: [n,k] x [k,m] -> [n,m].
+  Var MatMul(Var a, Var b);
+
+  /// a * b^T: [n,d] x [m,d] -> [n,m]. This is the batch score matrix
+  /// S(m_i, e_j) of eq. (5) when a/b are mention/entity embeddings.
+  Var MatMulTransposeB(Var a, Var b);
+
+  /// Adds a [1,c] bias row to every row of x [n,c].
+  Var AddBiasRow(Var x, Var bias);
+
+  Var Add(Var a, Var b);
+  Var Sub(Var a, Var b);
+  /// Elementwise (Hadamard) product; shapes must match.
+  Var Mul(Var a, Var b);
+  Var Scale(Var x, float s);
+  Var Tanh(Var x);
+  Var Relu(Var x);
+  Var Sigmoid(Var x);
+
+  /// Row-wise L2 normalization: out[r] = x[r] / max(||x[r]||, eps).
+  Var RowL2Normalize(Var x, float eps = 1e-8f);
+
+  /// Horizontal concatenation [n,c1]+[n,c2] -> [n,c1+c2].
+  Var ConcatCols(Var a, Var b);
+
+  /// Vertical concatenation of equal-width vars -> [sum rows, c]. Used to
+  /// stack per-example scalar losses into one column.
+  Var ConcatRows(const std::vector<Var>& parts);
+
+  /// Repeats a [1,c] row n times -> [n,c]; backward sums row gradients.
+  /// Lets the cross-encoder encode the mention once per candidate list.
+  Var BroadcastRow(Var row, std::size_t n);
+
+  /// Reinterprets the buffer with a new shape (rows*cols must match).
+  Var Reshape(Var x, std::size_t rows, std::size_t cols);
+
+  /// Per-row dot product: [n,d],[n,d] -> [n,1].
+  Var RowDot(Var a, Var b);
+
+  /// Per-row softmax cross entropy against integer targets:
+  /// out[r,0] = -logits[r,targets[r]] + log sum_c exp(logits[r,c]).
+  /// This is exactly the in-batch-negatives loss of eq. (6) when `logits` is
+  /// the batch score matrix and targets[r] = r.
+  Var SoftmaxCrossEntropy(Var logits, std::vector<std::size_t> targets);
+
+  /// Mean over all elements -> [1,1].
+  Var Mean(Var x);
+
+  /// Weighted sum of rows of a [n,1] column: sum_r w[r]*x[r,0] -> [1,1].
+  /// This is the weighted loss of eq. (7)/(15).
+  Var WeightedSum(Var column, std::vector<float> weights);
+
+  /// Sum of all elements -> [1,1].
+  Var Sum(Var x);
+
+  // ---- Execution ---------------------------------------------------------
+
+  const Tensor& value(Var v) const;
+  const Tensor& grad(Var v) const;
+
+  /// Runs backward from `v`, seeding every element of v's gradient with 1.
+  void Backward(Var v);
+
+  /// Runs backward from `v` with an explicit seed (same size as v's value).
+  void BackwardWithSeed(Var v, const std::vector<float>& seed);
+
+  /// Zeroes all node gradients so Backward can run again over the same tape
+  /// (Parameter::grad is managed separately via ParameterStore::ZeroGrads).
+  void ResetGrads();
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    // Propagates this node's grad to its inputs; empty for leaves.
+    std::function<void(Graph*)> backward;
+  };
+
+  Var AddNode(Tensor value, std::function<void(Graph*)> backward);
+  Node& node(Var v) { return nodes_[static_cast<std::size_t>(v.id)]; }
+  const Node& node(Var v) const {
+    return nodes_[static_cast<std::size_t>(v.id)];
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace metablink::tensor
+
+#endif  // METABLINK_TENSOR_GRAPH_H_

@@ -1,0 +1,68 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace metablink::tensor {
+
+void SgdOptimizer::Step(ParameterStore* store) {
+  for (const auto& p : store->parameters()) {
+    auto& val = p->value.data();
+    const auto& grad = p->grad.data();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[p.get()];
+      if (vel.size() != val.size()) vel.assign(val.size(), 0.0f);
+      for (std::size_t i = 0; i < val.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + grad[i] + weight_decay_ * val[i];
+        val[i] -= lr_ * vel[i];
+      }
+    } else if (p->row_sparse_grad && weight_decay_ == 0.0f) {
+      const std::size_t cols = p->grad.cols();
+      for (std::uint32_t row : p->touched_rows) {
+        const std::size_t base = row * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+          val[base + c] -= lr_ * grad[base + c];
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < val.size(); ++i) {
+        val[i] -= lr_ * (grad[i] + weight_decay_ * val[i]);
+      }
+    }
+  }
+}
+
+void AdamOptimizer::Step(ParameterStore* store) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (const auto& p : store->parameters()) {
+    auto& val = p->value.data();
+    const auto& grad = p->grad.data();
+    auto& mom = moments_[p.get()];
+    if (mom.m.size() != val.size()) {
+      mom.m.assign(val.size(), 0.0f);
+      mom.v.assign(val.size(), 0.0f);
+    }
+    auto update = [&](std::size_t i) {
+      const float g = grad[i] + weight_decay_ * val[i];
+      mom.m[i] = beta1_ * mom.m[i] + (1.0f - beta1_) * g;
+      mom.v[i] = beta2_ * mom.v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = mom.m[i] / bc1;
+      const float vhat = mom.v[i] / bc2;
+      val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    };
+    if (p->row_sparse_grad) {
+      // Lazy Adam: rows with zero gradient keep their moments unchanged
+      // (standard sparse-Adam approximation for embedding tables).
+      const std::size_t cols = p->grad.cols();
+      for (std::uint32_t row : p->touched_rows) {
+        const std::size_t base = row * cols;
+        for (std::size_t c = 0; c < cols; ++c) update(base + c);
+      }
+    } else {
+      for (std::size_t i = 0; i < val.size(); ++i) update(i);
+    }
+  }
+}
+
+}  // namespace metablink::tensor

@@ -1,0 +1,47 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace metablink::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  METABLINK_CHECK(data_.size() == rows_ * cols_)
+      << "shape (" << rows_ << "," << cols_ << ") vs data size "
+      << data_.size();
+}
+
+Tensor Tensor::RowVector(std::vector<float> data) {
+  std::size_t n = data.size();
+  return Tensor(1, n, std::move(data));
+}
+
+void Tensor::SetZero() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::vector<float> Tensor::Row(std::size_t r) const {
+  return std::vector<float>(row_data(r), row_data(r) + cols_);
+}
+
+float Dot(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+void Axpy(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace metablink::tensor

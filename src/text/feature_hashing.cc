@@ -1,0 +1,68 @@
+#include "text/feature_hashing.h"
+
+namespace metablink::text {
+
+std::uint64_t HashBytes(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ (seed * 0x100000001B3ULL + seed);
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  // Final avalanche (from SplitMix64) to decorrelate low bits.
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+FeatureHasher::FeatureHasher(FeatureHasherOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_buckets == 0) options_.num_buckets = 1;
+}
+
+std::vector<std::uint32_t> FeatureHasher::HashTokens(
+    const std::vector<std::string>& tokens, std::uint64_t field_seed) const {
+  std::vector<std::uint32_t> out;
+  AppendHashedTokens(tokens, field_seed, &out);
+  return out;
+}
+
+void FeatureHasher::AppendHashedTokens(const std::vector<std::string>& tokens,
+                                       std::uint64_t field_seed,
+                                       std::vector<std::uint32_t>* out) const {
+  const std::uint32_t buckets = options_.num_buckets;
+  auto emit = [&](std::string_view data, std::uint64_t sub_seed) {
+    out->push_back(static_cast<std::uint32_t>(
+        HashBytes(data, field_seed * 1315423911ULL + sub_seed) % buckets));
+  };
+  if (options_.word_unigrams) {
+    for (const auto& t : tokens) emit(t, 1);
+  }
+  if (options_.word_bigrams && tokens.size() >= 2) {
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      std::string bigram = tokens[i];
+      bigram += '\x1f';
+      bigram += tokens[i + 1];
+      emit(bigram, 2);
+    }
+  }
+  if (!options_.char_ngram_sizes.empty()) {
+    for (const auto& t : tokens) {
+      std::string padded;
+      padded.reserve(t.size() + 2);
+      padded += '#';
+      padded += t;
+      padded += '#';
+      for (int n : options_.char_ngram_sizes) {
+        if (n <= 0) continue;
+        const std::size_t len = static_cast<std::size_t>(n);
+        if (padded.size() < len) continue;
+        for (std::size_t i = 0; i + len <= padded.size(); ++i) {
+          emit(std::string_view(padded).substr(i, len),
+               100 + static_cast<std::uint64_t>(n));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace metablink::text

@@ -1,0 +1,57 @@
+#ifndef METABLINK_TEXT_FEATURE_HASHING_H_
+#define METABLINK_TEXT_FEATURE_HASHING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metablink::text {
+
+/// FNV-1a 64-bit hash of `data`, mixed with `seed`. Stable across runs and
+/// platforms; used for all feature hashing in the library.
+std::uint64_t HashBytes(std::string_view data, std::uint64_t seed = 0);
+
+/// Options for the hashed sparse featurizer.
+struct FeatureHasherOptions {
+  /// Number of hash buckets (embedding rows downstream).
+  std::uint32_t num_buckets = 1u << 14;
+  /// Emit word unigram features.
+  bool word_unigrams = true;
+  /// Emit word bigram features.
+  bool word_bigrams = true;
+  /// Character n-gram sizes to emit per token ("#tok#" padded). Empty
+  /// disables char features.
+  std::vector<int> char_ngram_sizes = {3, 4};
+};
+
+/// Maps token sequences into hashed feature-id bags. The downstream encoders
+/// consume these bags through an EmbeddingBag layer, so this class defines
+/// the model's entire input representation (the stand-in for BERT's
+/// wordpiece embedding layer).
+class FeatureHasher {
+ public:
+  explicit FeatureHasher(FeatureHasherOptions options = {});
+
+  /// Hashes `tokens` into a bag of feature ids in [0, num_buckets).
+  /// `field_seed` separates feature spaces (e.g. mention vs. context vs.
+  /// title vs. description) so identical tokens in different fields hash to
+  /// different buckets.
+  std::vector<std::uint32_t> HashTokens(const std::vector<std::string>& tokens,
+                                        std::uint64_t field_seed = 0) const;
+
+  /// Appends hashed ids for `tokens` to `*out` instead of allocating.
+  void AppendHashedTokens(const std::vector<std::string>& tokens,
+                          std::uint64_t field_seed,
+                          std::vector<std::uint32_t>* out) const;
+
+  std::uint32_t num_buckets() const { return options_.num_buckets; }
+  const FeatureHasherOptions& options() const { return options_; }
+
+ private:
+  FeatureHasherOptions options_;
+};
+
+}  // namespace metablink::text
+
+#endif  // METABLINK_TEXT_FEATURE_HASHING_H_

@@ -1,0 +1,71 @@
+#include "text/rouge.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/string_metrics.h"
+
+namespace metablink::text {
+
+namespace {
+
+std::unordered_map<std::string, int> NgramCounts(
+    const std::vector<std::string>& tokens, int n) {
+  std::unordered_map<std::string, int> counts;
+  if (n <= 0 || tokens.size() < static_cast<std::size_t>(n)) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string key;
+    for (int k = 0; k < n; ++k) {
+      if (k > 0) key += '\x1f';
+      key += tokens[i + k];
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+RougeScore FromCounts(double overlap, double cand_total, double ref_total) {
+  RougeScore s;
+  s.precision = cand_total > 0 ? overlap / cand_total : 0.0;
+  s.recall = ref_total > 0 ? overlap / ref_total : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+}  // namespace
+
+RougeScore RougeN(const std::vector<std::string>& candidate,
+                  const std::vector<std::string>& reference, int n) {
+  auto cand = NgramCounts(candidate, n);
+  auto ref = NgramCounts(reference, n);
+  double overlap = 0.0, cand_total = 0.0, ref_total = 0.0;
+  for (const auto& [k, c] : cand) cand_total += c;
+  for (const auto& [k, c] : ref) ref_total += c;
+  for (const auto& [k, c] : cand) {
+    auto it = ref.find(k);
+    if (it != ref.end()) overlap += std::min(c, it->second);
+  }
+  return FromCounts(overlap, cand_total, ref_total);
+}
+
+RougeScore RougeL(const std::vector<std::string>& candidate,
+                  const std::vector<std::string>& reference) {
+  double lcs = static_cast<double>(LcsLength(candidate, reference));
+  return FromCounts(lcs, static_cast<double>(candidate.size()),
+                    static_cast<double>(reference.size()));
+}
+
+double CorpusRougeNF1(const std::vector<std::vector<std::string>>& candidates,
+                      const std::vector<std::vector<std::string>>& references,
+                      int n) {
+  if (candidates.empty() || candidates.size() != references.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    sum += RougeN(candidates[i], references[i], n).f1;
+  }
+  return sum / static_cast<double>(candidates.size());
+}
+
+}  // namespace metablink::text

@@ -1,0 +1,34 @@
+#ifndef METABLINK_TEXT_ROUGE_H_
+#define METABLINK_TEXT_ROUGE_H_
+
+#include <string>
+#include <vector>
+
+namespace metablink::text {
+
+/// Precision / recall / F1 triple for a single ROUGE comparison.
+struct RougeScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// ROUGE-N overlap between a candidate and a reference token sequence
+/// (clipped n-gram counts, as in the standard metric). Used by the Table XI
+/// experiment to compare generated mentions against golden mentions.
+RougeScore RougeN(const std::vector<std::string>& candidate,
+                  const std::vector<std::string>& reference, int n);
+
+/// ROUGE-L (longest common subsequence based).
+RougeScore RougeL(const std::vector<std::string>& candidate,
+                  const std::vector<std::string>& reference);
+
+/// Corpus-level ROUGE-N F1: averages per-pair F1 over aligned
+/// candidate/reference lists. Pre: candidates.size() == references.size().
+double CorpusRougeNF1(const std::vector<std::vector<std::string>>& candidates,
+                      const std::vector<std::vector<std::string>>& references,
+                      int n);
+
+}  // namespace metablink::text
+
+#endif  // METABLINK_TEXT_ROUGE_H_

@@ -1,0 +1,90 @@
+#include "text/string_metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace metablink::text {
+
+std::size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row DP; a is the shorter string.
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t cur = row[i];
+      std::size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  std::size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t) > 0) ++inter;
+  }
+  std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::size_t LcsLength(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<std::size_t> prev(b.size() + 1, 0);
+  std::vector<std::size_t> cur(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+const char* OverlapCategoryName(OverlapCategory c) {
+  switch (c) {
+    case OverlapCategory::kHighOverlap:
+      return "High Overlap";
+    case OverlapCategory::kMultipleCategories:
+      return "Multiple Categories";
+    case OverlapCategory::kAmbiguousSubstring:
+      return "Ambiguous Substring";
+    case OverlapCategory::kLowOverlap:
+      return "Low Overlap";
+  }
+  return "?";
+}
+
+OverlapCategory ClassifyOverlap(std::string_view mention,
+                                std::string_view title) {
+  const std::string m = NormalizeForMatch(mention);
+  const std::string t = NormalizeForMatch(title);
+  if (m == t && !m.empty()) return OverlapCategory::kHighOverlap;
+  std::string phrase;
+  const std::string base =
+      NormalizeForMatch(StripDisambiguation(title, &phrase));
+  if (!phrase.empty() && m == base && !m.empty()) {
+    return OverlapCategory::kMultipleCategories;
+  }
+  if (!m.empty() && t.find(m) != std::string::npos) {
+    return OverlapCategory::kAmbiguousSubstring;
+  }
+  return OverlapCategory::kLowOverlap;
+}
+
+}  // namespace metablink::text

@@ -1,0 +1,46 @@
+#ifndef METABLINK_TEXT_STRING_METRICS_H_
+#define METABLINK_TEXT_STRING_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metablink::text {
+
+/// Levenshtein edit distance between `a` and `b` (unit costs).
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the token *sets* of `a` and `b` in [0, 1].
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Length of the longest common subsequence of token sequences.
+std::size_t LcsLength(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// The paper's four mention/title string-overlap categories (Sec. VI-A),
+/// determined by the relationship between the mention text and the entity
+/// title text.
+enum class OverlapCategory {
+  /// Mention text equals the title text.
+  kHighOverlap,
+  /// Title is the mention followed by a "(disambiguation)" phrase.
+  kMultipleCategories,
+  /// Mention is a proper substring of the title (not the above).
+  kAmbiguousSubstring,
+  /// None of the above.
+  kLowOverlap,
+};
+
+/// Printable name, matching the paper's terminology.
+const char* OverlapCategoryName(OverlapCategory c);
+
+/// Classifies a (mention, title) pair into its overlap category. Comparison
+/// is done on match-normalized text (case/punctuation-insensitive).
+OverlapCategory ClassifyOverlap(std::string_view mention,
+                                std::string_view title);
+
+}  // namespace metablink::text
+
+#endif  // METABLINK_TEXT_STRING_METRICS_H_

@@ -1,0 +1,61 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace metablink::text {
+
+void TfIdfStats::AddDocument(const std::vector<std::string>& tokens) {
+  ++num_documents_;
+  total_terms_ += tokens.size();
+  std::unordered_set<std::string> seen;
+  for (const auto& t : tokens) {
+    ++term_count_[t];
+    if (seen.insert(t).second) ++doc_freq_[t];
+  }
+}
+
+std::uint64_t TfIdfStats::DocumentFrequency(const std::string& token) const {
+  auto it = doc_freq_.find(token);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+std::uint64_t TfIdfStats::TermCount(const std::string& token) const {
+  auto it = term_count_.find(token);
+  return it == term_count_.end() ? 0 : it->second;
+}
+
+double TfIdfStats::Idf(const std::string& token) const {
+  double n = static_cast<double>(num_documents_);
+  double df = static_cast<double>(DocumentFrequency(token));
+  return std::log((1.0 + n) / (1.0 + df)) + 1.0;
+}
+
+double TfIdfStats::UnigramProb(const std::string& token) const {
+  double v = static_cast<double>(term_count_.size()) + 1.0;
+  return (static_cast<double>(TermCount(token)) + 1.0) /
+         (static_cast<double>(total_terms_) + v);
+}
+
+std::vector<double> TfIdfStats::TfIdf(
+    const std::vector<std::string>& doc) const {
+  std::vector<double> out(doc.size(), 0.0);
+  if (doc.empty()) return out;
+  std::unordered_map<std::string, std::uint64_t> tf;
+  for (const auto& t : doc) ++tf[t];
+  const double len = static_cast<double>(doc.size());
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    out[i] = (static_cast<double>(tf[doc[i]]) / len) * Idf(doc[i]);
+  }
+  return out;
+}
+
+double TfIdfStats::PerplexityProxy(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return 0.0;
+  double nll = 0.0;
+  for (const auto& t : tokens) nll += -std::log(UnigramProb(t));
+  return nll / static_cast<double>(tokens.size());
+}
+
+}  // namespace metablink::text

@@ -1,0 +1,55 @@
+#ifndef METABLINK_TEXT_TFIDF_H_
+#define METABLINK_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace metablink::text {
+
+/// Corpus-level term statistics: document frequency and unigram counts.
+/// Backs TF-IDF salience scoring in the mention rewriter and the
+/// target-domain language-model adaptation (`syn*`).
+class TfIdfStats {
+ public:
+  /// Adds one document (a token sequence) to the statistics.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// Number of documents added.
+  std::uint64_t num_documents() const { return num_documents_; }
+
+  /// Document frequency of `token`.
+  std::uint64_t DocumentFrequency(const std::string& token) const;
+
+  /// Total corpus occurrences of `token`.
+  std::uint64_t TermCount(const std::string& token) const;
+
+  /// Total token occurrences across all documents.
+  std::uint64_t total_terms() const { return total_terms_; }
+
+  /// Smoothed inverse document frequency:
+  /// log((1 + N) / (1 + df)) + 1.
+  double Idf(const std::string& token) const;
+
+  /// Add-one-smoothed unigram probability of `token` under this corpus.
+  double UnigramProb(const std::string& token) const;
+
+  /// Per-token TF-IDF weights within `doc` (term frequency normalized by doc
+  /// length). Output is aligned with `doc`.
+  std::vector<double> TfIdf(const std::vector<std::string>& doc) const;
+
+  /// Mean negative log unigram probability of `tokens` under this corpus —
+  /// a simple fluency / domain-fit proxy (lower = more in-domain).
+  double PerplexityProxy(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::uint64_t num_documents_ = 0;
+  std::uint64_t total_terms_ = 0;
+  std::unordered_map<std::string, std::uint64_t> doc_freq_;
+  std::unordered_map<std::string, std::uint64_t> term_count_;
+};
+
+}  // namespace metablink::text
+
+#endif  // METABLINK_TEXT_TFIDF_H_

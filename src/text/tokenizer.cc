@@ -1,0 +1,72 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace metablink::text {
+
+namespace {
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '\'' ||
+         c == '_';
+}
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (IsWordChar(c)) {
+      std::size_t start = i;
+      while (i < text.size() && IsWordChar(text[i])) ++i;
+      std::string tok(text.substr(start, i - start));
+      if (options_.lowercase) {
+        for (char& t : tok) {
+          t = static_cast<char>(std::tolower(static_cast<unsigned char>(t)));
+        }
+      }
+      tokens.push_back(std::move(tok));
+    } else {
+      if (options_.keep_punctuation &&
+          std::ispunct(static_cast<unsigned char>(c))) {
+        tokens.emplace_back(1, c);
+      }
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::string NormalizeForMatch(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool last_space = true;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      last_space = false;
+    } else if (!last_space) {
+      out += ' ';
+      last_space = true;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string StripDisambiguation(std::string_view title, std::string* phrase) {
+  if (phrase != nullptr) phrase->clear();
+  if (title.empty() || title.back() != ')') return std::string(title);
+  std::size_t open = title.rfind('(');
+  if (open == std::string_view::npos || open == 0) return std::string(title);
+  // Require a space before '(' so "F(x)" style titles are untouched.
+  if (title[open - 1] != ' ') return std::string(title);
+  if (phrase != nullptr) {
+    *phrase = std::string(title.substr(open + 1, title.size() - open - 2));
+  }
+  std::size_t end = open - 1;
+  while (end > 0 && title[end - 1] == ' ') --end;
+  return std::string(title.substr(0, end));
+}
+
+}  // namespace metablink::text

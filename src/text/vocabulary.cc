@@ -1,0 +1,66 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+namespace metablink::text {
+
+Vocabulary::Vocabulary() { id_to_token_.push_back(kUnkToken); }
+
+void Vocabulary::Count(std::string_view token) {
+  if (frozen_) return;
+  ++counts_[std::string(token)];
+}
+
+void Vocabulary::CountAll(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) Count(t);
+}
+
+util::Status Vocabulary::Freeze(std::uint32_t min_freq) {
+  if (frozen_) {
+    return util::Status::FailedPrecondition("vocabulary already frozen");
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> items;
+  items.reserve(counts_.size());
+  for (const auto& [tok, freq] : counts_) {
+    if (freq >= min_freq) items.emplace_back(tok, freq);
+  }
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  token_to_id_.reserve(items.size());
+  id_to_token_.reserve(items.size() + 1);
+  for (const auto& [tok, freq] : items) {
+    (void)freq;
+    TokenId id = static_cast<TokenId>(id_to_token_.size());
+    token_to_id_.emplace(tok, id);
+    id_to_token_.push_back(tok);
+  }
+  frozen_ = true;
+  return util::Status::OK();
+}
+
+TokenId Vocabulary::Lookup(std::string_view token) const {
+  auto it = token_to_id_.find(std::string(token));
+  return it == token_to_id_.end() ? kUnkId : it->second;
+}
+
+std::vector<TokenId> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(Lookup(t));
+  return ids;
+}
+
+const std::string& Vocabulary::TokenOf(TokenId id) const {
+  if (id >= id_to_token_.size()) return id_to_token_[kUnkId];
+  return id_to_token_[id];
+}
+
+std::uint64_t Vocabulary::Frequency(std::string_view token) const {
+  auto it = counts_.find(std::string(token));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace metablink::text

@@ -1,0 +1,64 @@
+#ifndef METABLINK_TEXT_VOCABULARY_H_
+#define METABLINK_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metablink::text {
+
+/// Token id type. Id 0 is reserved for the unknown token.
+using TokenId = std::uint32_t;
+
+/// Bidirectional token <-> id map with frequency counts. Built by counting a
+/// corpus and then freezing; lookups on a frozen vocabulary are const and
+/// thread-safe.
+class Vocabulary {
+ public:
+  static constexpr TokenId kUnkId = 0;
+  static constexpr const char* kUnkToken = "<unk>";
+
+  Vocabulary();
+
+  /// Counts one occurrence of `token` (pre-freeze only).
+  void Count(std::string_view token);
+
+  /// Counts every token in `tokens`.
+  void CountAll(const std::vector<std::string>& tokens);
+
+  /// Assigns ids to all tokens with frequency >= `min_freq`, ordered by
+  /// descending frequency (ties broken lexicographically for determinism).
+  /// After freezing, Count() is an error.
+  util::Status Freeze(std::uint32_t min_freq = 1);
+
+  bool frozen() const { return frozen_; }
+
+  /// Returns the id of `token`, or kUnkId if absent/unfrozen.
+  TokenId Lookup(std::string_view token) const;
+
+  /// Converts a token sequence to ids (unknowns map to kUnkId).
+  std::vector<TokenId> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Returns the token string for `id` ("<unk>" for kUnkId or out of range).
+  const std::string& TokenOf(TokenId id) const;
+
+  /// Corpus frequency of `token` observed during counting (0 if unseen).
+  std::uint64_t Frequency(std::string_view token) const;
+
+  /// Number of ids, including the reserved <unk>.
+  std::size_t size() const { return id_to_token_.size(); }
+
+ private:
+  bool frozen_ = false;
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::unordered_map<std::string, TokenId> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+}  // namespace metablink::text
+
+#endif  // METABLINK_TEXT_VOCABULARY_H_

@@ -1,0 +1,79 @@
+#include "train/bi_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace metablink::train {
+
+BiEncoderTrainer::BiEncoderTrainer(TrainOptions options) : options_(options) {}
+
+util::Result<TrainResult> BiEncoderTrainer::Train(
+    model::BiEncoder* model, const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& examples,
+    const std::vector<float>& weights) {
+  if (examples.empty()) {
+    return util::Status::InvalidArgument("no training examples");
+  }
+  if (!weights.empty() && weights.size() != examples.size()) {
+    return util::Status::InvalidArgument(
+        "weights must align with examples");
+  }
+  util::Rng rng(options_.seed);
+  tensor::AdamOptimizer optimizer(options_.learning_rate);
+  TrainResult result;
+
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    std::size_t epoch_batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += options_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), begin + options_.batch_size);
+      if (end - begin < 2) continue;  // in-batch negatives need >= 2 rows
+      std::vector<data::LinkingExample> batch;
+      std::vector<float> batch_weights;
+      batch.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        batch.push_back(examples[order[i]]);
+        if (!weights.empty()) batch_weights.push_back(weights[order[i]]);
+      }
+      tensor::Graph graph;
+      tensor::Var losses = model->InBatchLoss(&graph, batch, kb);
+      model->params()->ZeroGrads();
+      if (batch_weights.empty()) {
+        batch_weights.assign(batch.size(), 1.0f / batch.size());
+      } else {
+        float total = std::accumulate(batch_weights.begin(),
+                                      batch_weights.end(), 0.0f);
+        if (total <= 0.0f) continue;  // fully down-weighted batch
+        for (float& w : batch_weights) w /= total;
+      }
+      // Seeding each loss row with its weight backpropagates the weighted
+      // mean without extra graph nodes.
+      graph.BackwardWithSeed(losses, batch_weights);
+      optimizer.Step(model->params());
+
+      double batch_loss = 0.0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch_loss += graph.value(losses).at(i, 0) * batch_weights[i];
+      }
+      epoch_loss += batch_loss;
+      ++epoch_batches;
+      ++result.steps;
+      if (options_.max_steps > 0 && result.steps >= options_.max_steps) break;
+    }
+    if (epoch_batches > 0) {
+      result.epoch_losses.push_back(epoch_loss /
+                                    static_cast<double>(epoch_batches));
+      result.final_epoch_loss = result.epoch_losses.back();
+    }
+    if (options_.max_steps > 0 && result.steps >= options_.max_steps) break;
+  }
+  return result;
+}
+
+}  // namespace metablink::train

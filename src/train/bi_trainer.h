@@ -1,0 +1,56 @@
+#ifndef METABLINK_TRAIN_BI_TRAINER_H_
+#define METABLINK_TRAIN_BI_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "model/bi_encoder.h"
+#include "tensor/optimizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::train {
+
+/// Shared trainer knobs.
+struct TrainOptions {
+  std::size_t batch_size = 32;
+  std::size_t epochs = 3;
+  float learning_rate = 0.01f;
+  std::uint64_t seed = 7;
+  /// Optional cap on total optimization steps (0 = no cap).
+  std::size_t max_steps = 0;
+};
+
+/// Summary returned by trainers.
+struct TrainResult {
+  std::size_t steps = 0;
+  double final_epoch_loss = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+/// Standard supervised trainer for the bi-encoder: Adam on the in-batch
+/// negatives loss (eq. 6), uniform example weights. This is the "BLINK"
+/// configuration of the experiment tables (trained on Seed, Syn, or
+/// Syn+Seed depending on the data passed in).
+class BiEncoderTrainer {
+ public:
+  explicit BiEncoderTrainer(TrainOptions options = {});
+
+  /// Trains in place. `weights`, when non-empty, gives a fixed per-example
+  /// weight (aligned with `examples`); the per-batch loss is the weighted
+  /// mean. Used directly by the DL4EL baseline and ablations.
+  util::Result<TrainResult> Train(model::BiEncoder* model,
+                                  const kb::KnowledgeBase& kb,
+                                  const std::vector<data::LinkingExample>&
+                                      examples,
+                                  const std::vector<float>& weights = {});
+
+ private:
+  TrainOptions options_;
+};
+
+}  // namespace metablink::train
+
+#endif  // METABLINK_TRAIN_BI_TRAINER_H_

@@ -1,0 +1,94 @@
+#include "train/cross_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace metablink::train {
+
+std::vector<CrossInstance> MineCrossTrainingSet(
+    const std::vector<data::LinkingExample>& examples,
+    const std::vector<std::vector<retrieval::ScoredEntity>>& candidate_lists,
+    std::size_t max_candidates) {
+  std::vector<CrossInstance> out;
+  for (std::size_t i = 0;
+       i < examples.size() && i < candidate_lists.size(); ++i) {
+    const auto& cands = candidate_lists[i];
+    std::size_t gold_pos = cands.size();
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      if (cands[c].id == examples[i].entity_id) {
+        gold_pos = c;
+        break;
+      }
+    }
+    if (gold_pos == cands.size()) continue;  // gold not retrieved: drop
+    CrossInstance inst;
+    inst.example = examples[i];
+    inst.gold_index = static_cast<std::size_t>(-1);  // patched below if truncated
+    for (std::size_t c = 0;
+         c < cands.size() && inst.candidates.size() < max_candidates; ++c) {
+      if (c == gold_pos) inst.gold_index = inst.candidates.size();
+      inst.candidates.push_back(cands[c].id);
+    }
+    // Guarantee the gold survives truncation.
+    if (inst.gold_index >= inst.candidates.size()) {
+      inst.candidates.back() = examples[i].entity_id;
+      inst.gold_index = inst.candidates.size() - 1;
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+CrossEncoderTrainer::CrossEncoderTrainer(TrainOptions options)
+    : options_(options) {}
+
+util::Result<TrainResult> CrossEncoderTrainer::Train(
+    model::CrossEncoder* model, const kb::KnowledgeBase& kb,
+    const std::vector<CrossInstance>& instances,
+    const std::vector<float>& weights) {
+  if (instances.empty()) {
+    return util::Status::InvalidArgument("no cross-encoder instances");
+  }
+  if (!weights.empty() && weights.size() != instances.size()) {
+    return util::Status::InvalidArgument("weights must align with instances");
+  }
+  util::Rng rng(options_.seed ^ 0xC105Eu);
+  tensor::AdamOptimizer optimizer(options_.learning_rate);
+  TrainResult result;
+
+  std::vector<std::size_t> order(instances.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t idx : order) {
+      const CrossInstance& inst = instances[idx];
+      if (inst.candidates.size() < 2) continue;
+      const float w = weights.empty() ? 1.0f : weights[idx];
+      if (w <= 0.0f) continue;
+      std::vector<kb::Entity> entities;
+      entities.reserve(inst.candidates.size());
+      for (kb::EntityId id : inst.candidates) entities.push_back(kb.entity(id));
+      tensor::Graph graph;
+      tensor::Var loss =
+          model->RankingLoss(&graph, inst.example, entities, inst.gold_index);
+      model->params()->ZeroGrads();
+      graph.BackwardWithSeed(loss, {w});
+      optimizer.Step(model->params());
+      epoch_loss += graph.value(loss).at(0, 0) * w;
+      ++counted;
+      ++result.steps;
+      if (options_.max_steps > 0 && result.steps >= options_.max_steps) break;
+    }
+    if (counted > 0) {
+      result.epoch_losses.push_back(epoch_loss / static_cast<double>(counted));
+      result.final_epoch_loss = result.epoch_losses.back();
+    }
+    if (options_.max_steps > 0 && result.steps >= options_.max_steps) break;
+  }
+  return result;
+}
+
+}  // namespace metablink::train

@@ -1,0 +1,100 @@
+#include "train/dl4el_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace metablink::train {
+
+Dl4elTrainer::Dl4elTrainer(Dl4elOptions options) : options_(options) {}
+
+std::vector<float> Dl4elTrainer::SelectionWeights(
+    const std::vector<float>& losses) const {
+  const std::size_t n = losses.size();
+  std::vector<float> weights(n, 0.0f);
+  if (n == 0) return weights;
+
+  // Hard part: keep the lowest-loss (1-ρ) fraction.
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround((1.0 - options_.noise_ratio) *
+                          static_cast<double>(n))));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return losses[a] < losses[b];
+  });
+
+  // Soft selection over the kept set: softmax(-loss / T).
+  float mx = -losses[order[0]];
+  std::vector<float> soft(n, 0.0f);
+  float soft_total = 0.0f;
+  for (std::size_t r = 0; r < keep; ++r) {
+    const std::size_t j = order[r];
+    soft[j] = std::exp(-losses[j] / options_.temperature - mx);
+    soft_total += soft[j];
+  }
+  // KL regularization toward the uniform prior over the whole batch.
+  const float uniform = 1.0f / static_cast<float>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const float sel = soft_total > 0.0f ? soft[j] / soft_total : 0.0f;
+    weights[j] = (1.0f - options_.kl_mix) * sel + options_.kl_mix * uniform;
+  }
+  // Normalize (the mix already sums to ~1; renormalize exactly).
+  float total = std::accumulate(weights.begin(), weights.end(), 0.0f);
+  if (total > 0.0f) {
+    for (float& w : weights) w /= total;
+  }
+  return weights;
+}
+
+util::Result<TrainResult> Dl4elTrainer::Train(
+    model::BiEncoder* model, const kb::KnowledgeBase& kb,
+    const std::vector<data::LinkingExample>& examples) {
+  if (examples.empty()) {
+    return util::Status::InvalidArgument("no training examples");
+  }
+  util::Rng rng(options_.train.seed ^ 0xD14ELu);
+  tensor::AdamOptimizer optimizer(options_.train.learning_rate);
+  TrainResult result;
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < options_.train.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += options_.train.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), begin + options_.train.batch_size);
+      if (end - begin < 2) continue;
+      std::vector<data::LinkingExample> batch;
+      for (std::size_t i = begin; i < end; ++i) {
+        batch.push_back(examples[order[i]]);
+      }
+      tensor::Graph graph;
+      tensor::Var losses = model->InBatchLoss(&graph, batch, kb);
+      std::vector<float> loss_values(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        loss_values[i] = graph.value(losses).at(i, 0);
+      }
+      const std::vector<float> weights = SelectionWeights(loss_values);
+      model->params()->ZeroGrads();
+      graph.BackwardWithSeed(losses, weights);
+      optimizer.Step(model->params());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        epoch_loss += loss_values[i] * weights[i];
+      }
+      ++batches;
+      ++result.steps;
+    }
+    if (batches > 0) {
+      result.epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+      result.final_epoch_loss = result.epoch_losses.back();
+    }
+  }
+  return result;
+}
+
+}  // namespace metablink::train

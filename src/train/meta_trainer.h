@@ -1,0 +1,229 @@
+#ifndef METABLINK_TRAIN_META_TRAINER_H_
+#define METABLINK_TRAIN_META_TRAINER_H_
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/example.h"
+#include "tensor/graph.h"
+#include "tensor/optimizer.h"
+#include "tensor/parameter.h"
+#include "train/cross_trainer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::train {
+
+/// Options for the learning-to-reweight loop (Algorithm 1).
+struct MetaTrainOptions {
+  /// Synthetic batch size n.
+  std::size_t batch_size = 32;
+  /// Seed (meta) batch size m.
+  std::size_t meta_batch_size = 16;
+  /// Total optimization steps T.
+  std::size_t steps = 300;
+  float learning_rate = 0.01f;
+  std::uint64_t seed = 13;
+  /// Apply the paper's eq. 13-14 normalization (clip negatives, divide by
+  /// the weight sum, with the δ(·) guard when the sum is zero). Turning
+  /// this off is an ablation knob.
+  bool normalize_weights = true;
+};
+
+/// Per-source selection statistics: how often examples from a source
+/// received a positive meta-weight (the Fig. 4 "selecting ratio").
+struct SelectionStats {
+  std::size_t seen = 0;
+  std::size_t selected = 0;
+  double weight_mass = 0.0;
+
+  double SelectedRatio() const {
+    return seen == 0
+               ? 0.0
+               : static_cast<double>(selected) / static_cast<double>(seen);
+  }
+};
+
+/// Result of a meta-training run.
+struct MetaTrainResult {
+  std::size_t steps = 0;
+  double final_synthetic_loss = 0.0;
+  double final_seed_loss = 0.0;
+  std::unordered_map<data::ExampleSource, SelectionStats> selection;
+};
+
+/// Provenance accessor used for selection bookkeeping; overload for any
+/// instance type fed to the meta trainer.
+inline data::ExampleSource SourceOf(const data::LinkingExample& ex) {
+  return ex.source;
+}
+inline data::ExampleSource SourceOf(const CrossInstance& inst) {
+  return inst.example.source;
+}
+
+/// Model-agnostic implementation of the paper's Algorithm 1 ("Learning to
+/// Reweight Synthetic data"). A LossFn closes over a concrete model (bi- or
+/// cross-encoder) and returns the per-example loss column ([n,1] Var) for a
+/// batch of instances; the trainer owns the reweighting logic:
+///
+///   1. sample a synthetic batch (n) and a seed batch (m);
+///   2. compute the meta gradient g_meta = ∇_φ mean-loss(seed batch). The
+///      meta-forward/meta-backward pair of eq. 8-12 at w = 0 reduces to
+///      w̃_j = max(0, ⟨∇_φ l_j, g_meta⟩) (the Ren et al. dot-product form;
+///      DESIGN.md §4), computed with one-hot backward passes over one tape;
+///   3. normalize weights per eq. 13-14;
+///   4. take the optimizer step on the weighted synthetic loss (eq. 15).
+///
+/// InstanceT is data::LinkingExample for the bi-encoder and CrossInstance
+/// for the cross-encoder.
+template <typename InstanceT>
+class MetaReweightTrainerT {
+ public:
+  using LossFn = std::function<tensor::Var(tensor::Graph*,
+                                           const std::vector<InstanceT>&)>;
+
+  /// `params` and `loss_fn` must refer to the same model and outlive the
+  /// trainer.
+  MetaReweightTrainerT(MetaTrainOptions options,
+                       tensor::ParameterStore* params, LossFn loss_fn)
+      : options_(options),
+        params_(params),
+        loss_fn_(std::move(loss_fn)),
+        optimizer_(options.learning_rate),
+        rng_(options.seed) {}
+
+  /// One reweighted step on explicit batches; exposed for tests and for the
+  /// Fig. 4 experiment. Returns the computed normalized weights, aligned
+  /// with `synthetic_batch`.
+  util::Result<std::vector<float>> Step(
+      const std::vector<InstanceT>& synthetic_batch,
+      const std::vector<InstanceT>& seed_batch) {
+    if (synthetic_batch.size() < 2) {
+      return util::Status::InvalidArgument("synthetic batch too small");
+    }
+    if (seed_batch.empty()) {
+      return util::Status::InvalidArgument("seed batch is empty");
+    }
+    const std::size_t n = synthetic_batch.size();
+
+    // Meta gradient: with w initialized to 0 the meta-forward step leaves
+    // φ̂_t = φ_t (Algorithm 1 lines 4-6), so the seed loss and its gradient
+    // are evaluated at the current parameters (line 7-8).
+    {
+      tensor::Graph seed_graph;
+      tensor::Var seed_losses = loss_fn_(&seed_graph, seed_batch);
+      params_->ZeroGrads();
+      std::vector<float> seed_seed(
+          seed_batch.size(), 1.0f / static_cast<float>(seed_batch.size()));
+      seed_graph.BackwardWithSeed(seed_losses, seed_seed);
+      result_.final_seed_loss = 0.0;
+      for (std::size_t i = 0; i < seed_batch.size(); ++i) {
+        result_.final_seed_loss += seed_graph.value(seed_losses).at(i, 0);
+      }
+      result_.final_seed_loss /= static_cast<double>(seed_batch.size());
+    }
+    const std::vector<float> g_meta = params_->FlattenGrads();
+
+    // Per-example gradient alignment (line 9): one forward tape, one-hot
+    // backward per example.
+    tensor::Graph graph;
+    tensor::Var losses = loss_fn_(&graph, synthetic_batch);
+    std::vector<float> raw(n, 0.0f);
+    std::vector<float> one_hot(n, 0.0f);
+    for (std::size_t j = 0; j < n; ++j) {
+      params_->ZeroGrads();
+      graph.ResetGrads();
+      one_hot[j] = 1.0f;
+      graph.BackwardWithSeed(losses, one_hot);
+      one_hot[j] = 0.0f;
+      raw[j] = static_cast<float>(params_->GradDot(g_meta));
+    }
+
+    // Eq. 13-14: clip negatives, normalize, δ(·)-guard the all-zero case.
+    std::vector<float> weights(n, 0.0f);
+    float total = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      weights[j] = std::max(0.0f, raw[j]);
+      total += weights[j];
+    }
+    if (options_.normalize_weights) {
+      const float denom = total > 0.0f ? total : 1.0f;
+      for (float& w : weights) w /= denom;
+    }
+
+    // Selection bookkeeping (Fig. 4).
+    for (std::size_t j = 0; j < n; ++j) {
+      SelectionStats& s = result_.selection[SourceOf(synthetic_batch[j])];
+      ++s.seen;
+      if (weights[j] > 0.0f) ++s.selected;
+      s.weight_mass += weights[j];
+    }
+
+    // Lines 10-12: optimize with the weighted loss.
+    params_->ZeroGrads();
+    graph.ResetGrads();
+    graph.BackwardWithSeed(losses, weights);
+    optimizer_.Step(params_);
+
+    result_.final_synthetic_loss = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      result_.final_synthetic_loss +=
+          graph.value(losses).at(j, 0) * weights[j];
+    }
+    ++result_.steps;
+    return weights;
+  }
+
+  /// Runs `options.steps` reweighted steps, sampling batches from
+  /// `synthetic` (D_f) and `seed_set` (D_g).
+  util::Result<MetaTrainResult> Train(
+      const std::vector<InstanceT>& synthetic,
+      const std::vector<InstanceT>& seed_set) {
+    if (synthetic.size() < 2) {
+      return util::Status::InvalidArgument(
+          "need at least 2 synthetic examples");
+    }
+    if (seed_set.empty()) {
+      return util::Status::InvalidArgument("seed set is empty");
+    }
+    for (std::size_t step = 0; step < options_.steps; ++step) {
+      std::vector<InstanceT> synthetic_batch;
+      for (std::size_t idx : rng_.SampleIndices(
+               synthetic.size(),
+               std::min(options_.batch_size, synthetic.size()))) {
+        synthetic_batch.push_back(synthetic[idx]);
+      }
+      std::vector<InstanceT> seed_batch;
+      for (std::size_t idx : rng_.SampleIndices(
+               seed_set.size(),
+               std::min(options_.meta_batch_size, seed_set.size()))) {
+        seed_batch.push_back(seed_set[idx]);
+      }
+      auto weights = Step(synthetic_batch, seed_batch);
+      if (!weights.ok()) return weights.status();
+    }
+    return result_;
+  }
+
+  const MetaTrainResult& result() const { return result_; }
+
+ private:
+  MetaTrainOptions options_;
+  tensor::ParameterStore* params_;
+  LossFn loss_fn_;
+  tensor::AdamOptimizer optimizer_;
+  util::Rng rng_;
+  MetaTrainResult result_;
+};
+
+/// Meta trainer over plain linking examples (bi-encoder).
+using MetaReweightTrainer = MetaReweightTrainerT<data::LinkingExample>;
+
+/// Meta trainer over cross-encoder instances.
+using CrossMetaTrainer = MetaReweightTrainerT<CrossInstance>;
+
+}  // namespace metablink::train
+
+#endif  // METABLINK_TRAIN_META_TRAINER_H_

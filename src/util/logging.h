@@ -1,0 +1,54 @@
+#ifndef METABLINK_UTIL_LOGGING_H_
+#define METABLINK_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace metablink::util {
+
+/// Log severities, in increasing order.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns/sets the process-wide minimum severity that is emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// One log statement; flushes on destruction. kFatal aborts the process.
+/// Use via the METABLINK_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace metablink::util
+
+/// Usage: METABLINK_LOG(kInfo) << "trained " << n << " steps";
+#define METABLINK_LOG(severity)                                     \
+  ::metablink::util::LogMessage(::metablink::util::LogLevel::severity, \
+                                __FILE__, __LINE__)                  \
+      .stream()
+
+/// Fatal-on-false invariant check (enabled in all build types).
+#define METABLINK_CHECK(cond)                                      \
+  if (!(cond))                                                      \
+  METABLINK_LOG(kFatal) << "Check failed: " #cond " "
+
+#endif  // METABLINK_UTIL_LOGGING_H_

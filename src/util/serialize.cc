@@ -1,0 +1,123 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace metablink::util {
+
+namespace {
+template <typename T>
+void AppendRaw(std::vector<std::uint8_t>* buf, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf->insert(buf->end(), p, p + sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::WriteU32(std::uint32_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteU64(std::uint64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteI64(std::int64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteF32(float v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteF64(double v) { AppendRaw(&buffer_, v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  buffer_.insert(buffer_.end(), p, p + v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<std::uint32_t>& v) {
+  WriteU64(v.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  buffer_.insert(buffer_.end(), p, p + v.size() * sizeof(std::uint32_t));
+}
+
+Status BinaryWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  std::size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (written != buffer_.size()) {
+    return Status::IoError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s for reading", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  std::size_t read = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size()) {
+    return Status::IoError(StrFormat("short read from %s", path.c_str()));
+  }
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::ReadRaw(void* dst, std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("truncated input buffer");
+  }
+  std::memcpy(dst, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(std::uint32_t* out) {
+  return ReadRaw(out, sizeof(*out));
+}
+Status BinaryReader::ReadU64(std::uint64_t* out) {
+  return ReadRaw(out, sizeof(*out));
+}
+Status BinaryReader::ReadI64(std::int64_t* out) {
+  return ReadRaw(out, sizeof(*out));
+}
+Status BinaryReader::ReadF32(float* out) { return ReadRaw(out, sizeof(*out)); }
+Status BinaryReader::ReadF64(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+Status BinaryReader::ReadString(std::string* out) {
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(ReadU64(&n));
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("truncated string");
+  }
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_),
+              static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadFloatVector(std::vector<float>* out) {
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(ReadU64(&n));
+  if (pos_ + n * sizeof(float) > data_.size()) {
+    return Status::OutOfRange("truncated float vector");
+  }
+  out->resize(static_cast<std::size_t>(n));
+  return ReadRaw(out->data(), out->size() * sizeof(float));
+}
+
+Status BinaryReader::ReadU32Vector(std::vector<std::uint32_t>* out) {
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(ReadU64(&n));
+  if (pos_ + n * sizeof(std::uint32_t) > data_.size()) {
+    return Status::OutOfRange("truncated u32 vector");
+  }
+  out->resize(static_cast<std::size_t>(n));
+  return ReadRaw(out->data(), out->size() * sizeof(std::uint32_t));
+}
+
+}  // namespace metablink::util

@@ -1,0 +1,67 @@
+#ifndef METABLINK_UTIL_SERIALIZE_H_
+#define METABLINK_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metablink::util {
+
+/// Append-only little-endian binary encoder used for model checkpoints and
+/// knowledge-base snapshots.
+class BinaryWriter {
+ public:
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteU32Vector(const std::vector<std::uint32_t>& v);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+  /// Writes the accumulated buffer to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked decoder matching BinaryWriter. All reads return Status and
+/// fail with kOutOfRange on truncated input instead of crashing.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> data)
+      : data_(std::move(data)) {}
+
+  /// Loads the whole file at `path` into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Status ReadU32(std::uint32_t* out);
+  Status ReadU64(std::uint64_t* out);
+  Status ReadI64(std::int64_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  Status ReadString(std::string* out);
+  Status ReadFloatVector(std::vector<float>* out);
+  Status ReadU32Vector(std::vector<std::uint32_t>* out);
+
+  /// True when all bytes have been consumed.
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status ReadRaw(void* dst, std::size_t n);
+
+  std::vector<std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace metablink::util
+
+#endif  // METABLINK_UTIL_SERIALIZE_H_

@@ -1,0 +1,41 @@
+#ifndef METABLINK_UTIL_STRING_UTIL_H_
+#define METABLINK_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metablink::util {
+
+/// Splits `text` on `delim`, optionally dropping empty pieces.
+std::vector<std::string> Split(std::string_view text, char delim,
+                               bool skip_empty = false);
+
+/// Splits `text` on any ASCII whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `haystack` contains `needle` as a substring.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Replaces the first occurrence of `from` in `text` with `to`. Returns true
+/// if a replacement happened.
+bool ReplaceFirst(std::string* text, std::string_view from,
+                  std::string_view to);
+
+}  // namespace metablink::util
+
+#endif  // METABLINK_UTIL_STRING_UTIL_H_

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/example.h"
+#include "data/generator.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+
+namespace metablink::data {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions opts;
+  opts.seed = 42;
+  opts.shared_vocab_size = 300;
+  opts.domain_vocab_size = 150;
+  return opts;
+}
+
+std::vector<DomainSpec> SmallSpecs() {
+  std::vector<DomainSpec> specs(2);
+  specs[0].name = "alpha";
+  specs[0].num_entities = 80;
+  specs[0].num_examples = 200;
+  specs[0].num_documents = 50;
+  specs[1].name = "beta";
+  specs[1].num_entities = 60;
+  specs[1].num_examples = 100;
+  specs[1].num_documents = 30;
+  specs[1].gap = 0.6;
+  return specs;
+}
+
+TEST(GeneratorTest, ProducesRequestedCounts) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto corpus = gen.Generate(SmallSpecs());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->kb.EntitiesInDomain("alpha").size(), 80u);
+  EXPECT_EQ(corpus->kb.EntitiesInDomain("beta").size(), 60u);
+  EXPECT_EQ(corpus->ExamplesIn("alpha").size(), 200u);
+  EXPECT_EQ(corpus->DocumentsIn("alpha").size(), 50u);
+  EXPECT_TRUE(corpus->ExamplesIn("absent").empty());
+  EXPECT_TRUE(corpus->DocumentsIn("absent").empty());
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  ZeshelLikeGenerator g1(SmallOptions()), g2(SmallOptions());
+  auto c1 = g1.Generate(SmallSpecs());
+  auto c2 = g2.Generate(SmallSpecs());
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  ASSERT_EQ(c1->kb.num_entities(), c2->kb.num_entities());
+  for (std::size_t i = 0; i < c1->kb.num_entities(); ++i) {
+    EXPECT_EQ(c1->kb.entity(i).title, c2->kb.entity(i).title);
+    EXPECT_EQ(c1->kb.entity(i).description, c2->kb.entity(i).description);
+  }
+  const auto& e1 = c1->ExamplesIn("alpha");
+  const auto& e2 = c2->ExamplesIn("alpha");
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].mention, e2[i].mention);
+    EXPECT_EQ(e1[i].entity_id, e2[i].entity_id);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto opts2 = SmallOptions();
+  opts2.seed = 43;
+  ZeshelLikeGenerator g1(SmallOptions()), g2(opts2);
+  auto c1 = g1.Generate(SmallSpecs());
+  auto c2 = g2.Generate(SmallSpecs());
+  EXPECT_NE(c1->kb.entity(0).title, c2->kb.entity(0).title);
+}
+
+TEST(GeneratorTest, RejectsDuplicateDomains) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto specs = SmallSpecs();
+  specs[1].name = "alpha";
+  EXPECT_FALSE(gen.Generate(specs).ok());
+}
+
+TEST(GeneratorTest, RejectsEmptyDomainName) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto specs = SmallSpecs();
+  specs[0].name = "";
+  EXPECT_FALSE(gen.Generate(specs).ok());
+}
+
+TEST(GeneratorTest, ExamplesLinkToOwnDomain) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto corpus = gen.Generate(SmallSpecs());
+  for (const auto& ex : corpus->ExamplesIn("alpha")) {
+    ASSERT_LT(ex.entity_id, corpus->kb.num_entities());
+    EXPECT_EQ(corpus->kb.entity(ex.entity_id).domain, "alpha");
+    EXPECT_EQ(ex.domain, "alpha");
+    EXPECT_EQ(ex.source, ExampleSource::kGold);
+    EXPECT_FALSE(ex.mention.empty());
+  }
+}
+
+TEST(GeneratorTest, CategoryMixRoughlyMatchesSpec) {
+  auto opts = SmallOptions();
+  ZeshelLikeGenerator gen(opts);
+  auto specs = SmallSpecs();
+  specs[0].num_examples = 2000;
+  specs[0].p_high_overlap = 0.2;
+  specs[0].p_multiple_categories = 0.2;
+  specs[0].p_ambiguous_substring = 0.1;
+  auto corpus = gen.Generate(specs);
+  auto hist = CategoryHistogram(corpus->ExamplesIn("alpha"), corpus->kb);
+  const double n = 2000.0;
+  EXPECT_NEAR(hist[text::OverlapCategory::kHighOverlap] / n, 0.2, 0.05);
+  EXPECT_NEAR(hist[text::OverlapCategory::kMultipleCategories] / n, 0.2,
+              0.05);
+  // Low overlap dominates the remainder.
+  EXPECT_GT(hist[text::OverlapCategory::kLowOverlap] / n, 0.35);
+}
+
+TEST(GeneratorTest, DescriptionsStartWithBaseTitle) {
+  // Required by the self-match seed heuristic.
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto corpus = gen.Generate(SmallSpecs());
+  for (kb::EntityId id : corpus->kb.EntitiesInDomain("alpha")) {
+    const auto& e = corpus->kb.entity(id);
+    std::string phrase;
+    const std::string base = text::StripDisambiguation(e.title, &phrase);
+    EXPECT_EQ(e.description.rfind(base, 0), 0u)
+        << "description must start with '" << base << "'";
+  }
+}
+
+TEST(GeneratorTest, DisambiguatedSiblingsShareBaseTitle) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto corpus = gen.Generate(SmallSpecs());
+  std::size_t disambiguated = 0;
+  std::map<std::string, int> base_counts;
+  for (kb::EntityId id : corpus->kb.EntitiesInDomain("alpha")) {
+    std::string phrase;
+    const std::string base =
+        text::StripDisambiguation(corpus->kb.entity(id).title, &phrase);
+    if (!phrase.empty()) {
+      ++disambiguated;
+      base_counts[base]++;
+    }
+  }
+  EXPECT_GT(disambiguated, 0u);
+  for (const auto& [base, count] : base_counts) {
+    EXPECT_GE(count, 2) << base << " should have siblings";
+  }
+}
+
+TEST(GeneratorTest, DocumentsNonEmpty) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto corpus = gen.Generate(SmallSpecs());
+  for (const auto& doc : corpus->DocumentsIn("alpha")) {
+    EXPECT_GT(doc.size(), 20u);
+  }
+}
+
+TEST(GeneratorTest, TriplesStayInDomainEntities) {
+  ZeshelLikeGenerator gen(SmallOptions());
+  auto corpus = gen.Generate(SmallSpecs());
+  EXPECT_FALSE(corpus->kb.triples().empty());
+  for (const auto& t : corpus->kb.triples()) {
+    EXPECT_LT(t.head, corpus->kb.num_entities());
+    EXPECT_LT(t.tail, corpus->kb.num_entities());
+    EXPECT_EQ(corpus->kb.entity(t.head).domain,
+              corpus->kb.entity(t.tail).domain);
+  }
+}
+
+TEST(GeneratorTest, PaperDomainsCoverSplit) {
+  auto specs = ZeshelLikeGenerator::PaperDomains(1.0);
+  EXPECT_EQ(specs.size(), 16u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  for (const auto& n : ZeshelLikeGenerator::TrainDomainNames()) {
+    EXPECT_TRUE(names.count(n)) << n;
+  }
+  for (const auto& n : ZeshelLikeGenerator::TestDomainNames()) {
+    EXPECT_TRUE(names.count(n)) << n;
+  }
+  for (const auto& n : ZeshelLikeGenerator::DevDomainNames()) {
+    EXPECT_TRUE(names.count(n)) << n;
+  }
+}
+
+TEST(GeneratorTest, PaperDomainsScale) {
+  auto half = ZeshelLikeGenerator::PaperDomains(0.5);
+  auto full = ZeshelLikeGenerator::PaperDomains(1.0);
+  for (std::size_t i = 0; i < half.size(); ++i) {
+    EXPECT_LE(half[i].num_entities, full[i].num_entities);
+  }
+  // YuGiOh keeps the largest gap, Forgotten Realms the smallest (Table VIII
+  // structure).
+  double yugioh_gap = 0, fr_gap = 1;
+  for (const auto& s : full) {
+    if (s.name == "yugioh") yugioh_gap = s.gap;
+    if (s.name == "forgotten_realms") fr_gap = s.gap;
+  }
+  EXPECT_GT(yugioh_gap, fr_gap);
+}
+
+TEST(SplitTest, FewShotSplitSizes) {
+  std::vector<LinkingExample> examples(200);
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    examples[i].mention = "m" + std::to_string(i);
+  }
+  auto split = MakeFewShotSplit(examples, 50, 50, 1);
+  EXPECT_EQ(split.train.size(), 50u);
+  EXPECT_EQ(split.dev.size(), 50u);
+  EXPECT_EQ(split.test.size(), 100u);
+  // Deterministic and partitioning.
+  auto split2 = MakeFewShotSplit(examples, 50, 50, 1);
+  EXPECT_EQ(split.train[0].mention, split2.train[0].mention);
+  std::set<std::string> all;
+  for (const auto& e : split.train) all.insert(e.mention);
+  for (const auto& e : split.dev) all.insert(e.mention);
+  for (const auto& e : split.test) all.insert(e.mention);
+  EXPECT_EQ(all.size(), 200u);
+}
+
+TEST(SplitTest, SmallInputDegradesGracefully) {
+  std::vector<LinkingExample> examples(30);
+  auto split = MakeFewShotSplit(examples, 50, 50, 1);
+  EXPECT_EQ(split.train.size(), 30u);
+  EXPECT_TRUE(split.dev.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(ExampleTest, FullTextAssembly) {
+  LinkingExample ex;
+  ex.mention = "m";
+  ex.left_context = "left";
+  ex.right_context = "right";
+  EXPECT_EQ(ex.FullText(), "left m right");
+  ex.left_context.clear();
+  EXPECT_EQ(ex.FullText(), "m right");
+  ex.right_context.clear();
+  EXPECT_EQ(ex.FullText(), "m");
+}
+
+}  // namespace
+}  // namespace metablink::data

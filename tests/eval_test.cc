@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "train/bi_trainer.h"
+
+namespace metablink::eval {
+namespace {
+
+// ---- metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, RecallAtK) {
+  std::vector<std::vector<retrieval::ScoredEntity>> lists = {
+      {{1, 0.9f}, {2, 0.8f}},
+      {{3, 0.9f}, {4, 0.8f}},
+      {{5, 0.9f}},
+  };
+  std::vector<kb::EntityId> gold = {2, 9, 5};
+  EXPECT_NEAR(RecallAtK(lists, gold), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(RecallAtK({}, {}), 0.0);
+  EXPECT_EQ(RecallAtK(lists, {1}), 0.0);  // misaligned
+}
+
+TEST(MetricsTest, MakeEvalResultComposes) {
+  EvalResult r = MakeEvalResult(100, 80, 40);
+  EXPECT_DOUBLE_EQ(r.recall_at_k, 0.8);
+  EXPECT_DOUBLE_EQ(r.normalized_acc, 0.5);
+  EXPECT_DOUBLE_EQ(r.unnormalized_acc, 0.4);
+  // The paper identity: U.Acc = recall * N.Acc.
+  EXPECT_NEAR(r.unnormalized_acc, r.recall_at_k * r.normalized_acc, 1e-12);
+}
+
+TEST(MetricsTest, MakeEvalResultZeroSafe) {
+  EvalResult r = MakeEvalResult(0, 0, 0);
+  EXPECT_EQ(r.recall_at_k, 0.0);
+  EXPECT_EQ(r.normalized_acc, 0.0);
+  EXPECT_EQ(r.unnormalized_acc, 0.0);
+}
+
+// ---- name matching ---------------------------------------------------------
+
+TEST(NameMatchingTest, CraftedCases) {
+  kb::KnowledgeBase kb;
+  kb::Entity e;
+  e.domain = "d";
+  e.title = "red dragon";
+  e.description = "x";
+  kb::EntityId dragon = *kb.AddEntity(e);
+  e.title = "blue bird";
+  kb::EntityId bird = *kb.AddEntity(e);
+  (void)bird;
+
+  std::vector<data::LinkingExample> examples(3);
+  examples[0].mention = "red dragon";  // exact hit -> correct
+  examples[0].entity_id = dragon;
+  examples[1].mention = "the scaled one";  // alias, no match -> wrong
+  examples[1].entity_id = dragon;
+  examples[2].mention = "red";  // substring, no exact match -> wrong
+  examples[2].entity_id = dragon;
+  for (auto& ex : examples) ex.domain = "d";
+
+  util::Rng rng(1);
+  EXPECT_NEAR(NameMatchingAccuracy(kb, "d", examples, &rng), 1.0 / 3.0,
+              1e-12);
+  EXPECT_EQ(NameMatchingAccuracy(kb, "d", {}, &rng), 0.0);
+}
+
+TEST(NameMatchingTest, AmbiguousBaseIsChance) {
+  kb::KnowledgeBase kb;
+  kb::Entity e;
+  e.domain = "d";
+  e.description = "x";
+  e.title = "sora (satellite)";
+  kb::EntityId gold = *kb.AddEntity(e);
+  e.title = "sora (program)";
+  kb.AddEntity(e);
+
+  std::vector<data::LinkingExample> examples(200);
+  for (auto& ex : examples) {
+    ex.mention = "sora";
+    ex.entity_id = gold;
+    ex.domain = "d";
+  }
+  util::Rng rng(2);
+  double acc = NameMatchingAccuracy(kb, "d", examples, &rng);
+  EXPECT_NEAR(acc, 0.5, 0.1);  // coin flip between the two siblings
+}
+
+// ---- two-stage evaluator ---------------------------------------------------
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions opts;
+    opts.seed = 31;
+    opts.shared_vocab_size = 300;
+    opts.domain_vocab_size = 150;
+    data::ZeshelLikeGenerator gen(opts);
+    std::vector<data::DomainSpec> specs(1);
+    specs[0].name = "d";
+    specs[0].num_entities = 50;
+    specs[0].num_examples = 160;
+    corpus_ = std::make_unique<data::Corpus>(std::move(*gen.Generate(specs)));
+  }
+
+  std::unique_ptr<data::Corpus> corpus_;
+};
+
+TEST_F(EvaluatorTest, TrainedBiEncoderBeatsUntrained) {
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 2048;
+  cfg.dim = 16;
+  util::Rng rng(1);
+  model::BiEncoder untrained(cfg, &rng);
+  util::Rng rng2(1);
+  model::BiEncoder trained(cfg, &rng2);
+
+  auto split = data::MakeFewShotSplit(corpus_->ExamplesIn("d"), 120, 0, 5);
+  train::TrainOptions topt;
+  topt.epochs = 5;
+  train::BiEncoderTrainer trainer(topt);
+  ASSERT_TRUE(trainer.Train(&trained, corpus_->kb, split.train).ok());
+
+  EvaluatorOptions eopt;
+  eopt.k = 8;  // small k so recall is informative on 50 entities
+  eopt.num_threads = 2;
+  TwoStageEvaluator evaluator(eopt);
+  auto before =
+      evaluator.Evaluate(untrained, nullptr, corpus_->kb, "d", split.test);
+  auto after =
+      evaluator.Evaluate(trained, nullptr, corpus_->kb, "d", split.test);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->recall_at_k, before->recall_at_k);
+  EXPECT_GT(after->unnormalized_acc, before->unnormalized_acc);
+}
+
+TEST_F(EvaluatorTest, ResultInvariantsHold) {
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 1024;
+  cfg.dim = 8;
+  util::Rng rng(1);
+  model::BiEncoder model(cfg, &rng);
+  TwoStageEvaluator evaluator(EvaluatorOptions{.k = 16, .num_threads = 2});
+  auto split = data::MakeFewShotSplit(corpus_->ExamplesIn("d"), 0, 0, 5);
+  auto r = evaluator.Evaluate(model, nullptr, corpus_->kb, "d", split.test);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_examples, split.test.size());
+  EXPECT_LE(r->num_top1, r->num_in_candidates);
+  EXPECT_LE(r->num_in_candidates, r->num_examples);
+  EXPECT_NEAR(r->unnormalized_acc, r->recall_at_k * r->normalized_acc, 1e-9);
+}
+
+TEST_F(EvaluatorTest, ErrorsOnBadInputs) {
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 256;
+  cfg.dim = 8;
+  util::Rng rng(1);
+  model::BiEncoder model(cfg, &rng);
+  TwoStageEvaluator evaluator;
+  EXPECT_FALSE(evaluator.Evaluate(model, nullptr, corpus_->kb, "d", {}).ok());
+  std::vector<data::LinkingExample> one(1);
+  EXPECT_FALSE(
+      evaluator.Evaluate(model, nullptr, corpus_->kb, "nope", one).ok());
+}
+
+TEST_F(EvaluatorTest, RetrieveCandidatesShapes) {
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 256;
+  cfg.dim = 8;
+  util::Rng rng(1);
+  model::BiEncoder model(cfg, &rng);
+  TwoStageEvaluator evaluator(EvaluatorOptions{.k = 10, .num_threads = 2});
+  auto split = data::MakeFewShotSplit(corpus_->ExamplesIn("d"), 20, 0, 5);
+  auto lists =
+      evaluator.RetrieveCandidates(model, corpus_->kb, "d", split.train);
+  ASSERT_TRUE(lists.ok());
+  ASSERT_EQ(lists->size(), 20u);
+  for (const auto& l : *lists) {
+    EXPECT_EQ(l.size(), 10u);
+    for (const auto& c : l) {
+      EXPECT_EQ(corpus_->kb.entity(c.id).domain, "d");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metablink::eval

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/generator.h"
+#include "gen/bad_data.h"
+#include "gen/exact_matcher.h"
+#include "gen/rewriter.h"
+#include "gen/seed_selector.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace metablink::gen {
+namespace {
+
+kb::Entity MakeEntity(const std::string& title, const std::string& desc,
+                      const std::string& domain = "d") {
+  kb::Entity e;
+  e.title = title;
+  e.description = desc;
+  e.domain = domain;
+  return e;
+}
+
+// ---- ExactMatcher ----------------------------------------------------------
+
+class ExactMatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dragon_ = *kb_.AddEntity(MakeEntity(
+        "red dragon", "red dragon is a beast of the northern caves"));
+    knight_ = *kb_.AddEntity(
+        MakeEntity("knight", "knight is a warrior of the realm"));
+    sora1_ = *kb_.AddEntity(MakeEntity("sora (satellite)", "sora in orbit"));
+    sora2_ = *kb_.AddEntity(MakeEntity("sora (program)", "sora the tool"));
+  }
+
+  kb::KnowledgeBase kb_;
+  kb::EntityId dragon_, knight_, sora1_, sora2_;
+};
+
+TEST_F(ExactMatcherTest, FindsPlantedTitle) {
+  ExactMatcher matcher(kb_, "d");
+  auto matches = matcher.MatchAll(
+      {"the brave knight rode toward the castle at dawn"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entity_id, knight_);
+  EXPECT_EQ(matches[0].mention, "knight");
+  EXPECT_EQ(matches[0].source, data::ExampleSource::kExactMatch);
+  EXPECT_TRUE(util::Contains(matches[0].left_context, "brave"));
+  EXPECT_TRUE(util::Contains(matches[0].right_context, "rode"));
+}
+
+TEST_F(ExactMatcherTest, GreedyLongestMatch) {
+  ExactMatcher matcher(kb_, "d");
+  // "red dragon" must match the two-token title, not stop after "red".
+  auto matches = matcher.MatchAll({"beware the red dragon of the caves"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entity_id, dragon_);
+}
+
+TEST_F(ExactMatcherTest, MatchesDisambiguatedTitleWithParens) {
+  ExactMatcher matcher(kb_, "d");
+  auto matches = matcher.MatchAll({"they launched sora (satellite) today"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entity_id, sora1_);
+}
+
+TEST_F(ExactMatcherTest, NoMatchesInUnrelatedText) {
+  ExactMatcher matcher(kb_, "d");
+  EXPECT_TRUE(matcher.MatchAll({"nothing relevant here at all"}).empty());
+  EXPECT_TRUE(matcher.MatchAll({""}).empty());
+}
+
+TEST_F(ExactMatcherTest, MultipleMatchesInOneDocument) {
+  ExactMatcher matcher(kb_, "d");
+  auto matches =
+      matcher.MatchAll({"a knight fought the red dragon and the knight won"});
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(ExactMatcherTest, ContextLengthRespected) {
+  ExactMatcherOptions opts;
+  opts.context_len = 2;
+  ExactMatcher matcher(kb_, "d", opts);
+  auto matches =
+      matcher.MatchAll({"one two three four knight five six seven"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].left_context, "three four");
+  EXPECT_EQ(matches[0].right_context, "five six");
+}
+
+TEST_F(ExactMatcherTest, WrongDomainIndexesNothing) {
+  ExactMatcher matcher(kb_, "other");
+  EXPECT_TRUE(matcher.MatchAll({"the knight is here"}).empty());
+}
+
+// ---- MentionRewriter -------------------------------------------------------
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    generator_ = std::make_unique<data::ZeshelLikeGenerator>([] {
+      data::GeneratorOptions opts;
+      opts.seed = 17;
+      opts.shared_vocab_size = 300;
+      opts.domain_vocab_size = 150;
+      return opts;
+    }());
+    std::vector<data::DomainSpec> specs(2);
+    specs[0].name = "src";
+    specs[0].num_entities = 80;
+    specs[0].num_examples = 300;
+    specs[1].name = "tgt";
+    specs[1].num_entities = 80;
+    specs[1].num_examples = 100;
+    specs[1].num_documents = 120;
+    corpus_ = std::make_unique<data::Corpus>(
+        std::move(*generator_->Generate(specs)));
+  }
+
+  std::unique_ptr<data::ZeshelLikeGenerator> generator_;
+  std::unique_ptr<data::Corpus> corpus_;
+};
+
+TEST_F(RewriterTest, TrainRequiresExamples) {
+  MentionRewriter rewriter;
+  util::Rng rng(1);
+  EXPECT_FALSE(rewriter.Train(corpus_->kb, {}, &rng).ok());
+  EXPECT_FALSE(rewriter.trained());
+}
+
+TEST_F(RewriterTest, TrainedRewriterAvoidsTitleTokens) {
+  RewriterOptions opts;
+  opts.garbage_rate = 0.0;
+  opts.mislabel_rate = 0.0;
+  MentionRewriter rewriter(opts);
+  util::Rng rng(1);
+  ASSERT_TRUE(
+      rewriter.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng).ok());
+  EXPECT_TRUE(rewriter.trained());
+
+  text::Tokenizer tok;
+  for (kb::EntityId id : corpus_->kb.EntitiesInDomain("tgt")) {
+    const auto& entity = corpus_->kb.entity(id);
+    const std::string mention = rewriter.Rewrite(entity, &rng);
+    ASSERT_FALSE(mention.empty());
+    auto title_tokens = tok.Tokenize(entity.title);
+    std::set<std::string> title_set(title_tokens.begin(), title_tokens.end());
+    for (const auto& t : tok.Tokenize(mention)) {
+      EXPECT_EQ(title_set.count(t), 0u)
+          << "rewritten mention reuses title token " << t;
+    }
+    // All mention words come from the description.
+    auto desc_tokens = tok.Tokenize(entity.description);
+    std::set<std::string> desc_set(desc_tokens.begin(), desc_tokens.end());
+    for (const auto& t : tok.Tokenize(mention)) {
+      EXPECT_EQ(desc_set.count(t), 1u);
+    }
+    if (id > corpus_->kb.EntitiesInDomain("tgt")[10]) break;  // sample a few
+  }
+}
+
+TEST_F(RewriterTest, SalienceModelPrefersRecurringContentWords) {
+  MentionRewriter rewriter;
+  util::Rng rng(1);
+  ASSERT_TRUE(
+      rewriter.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng).ok());
+  // A description where "vexfor" recurs (signature-like) vs one-off filler.
+  std::vector<std::string> desc = {"tharn", "is",     "a",      "vexfor",
+                                   "of",    "vexfor", "legend", "stone"};
+  auto scores = rewriter.ScoreTokens(desc, {"tharn"});
+  double vexfor = scores[3];
+  double filler = scores[6];
+  EXPECT_GT(vexfor, filler);
+}
+
+TEST_F(RewriterTest, GenerateSyntheticDataChangesMentions) {
+  RewriterOptions opts;
+  opts.garbage_rate = 0.0;
+  opts.mislabel_rate = 0.0;
+  MentionRewriter rewriter(opts);
+  util::Rng rng(1);
+  ASSERT_TRUE(
+      rewriter.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng).ok());
+  ExactMatcher matcher(corpus_->kb, "tgt");
+  auto exact = matcher.MatchAll(corpus_->DocumentsIn("tgt"));
+  ASSERT_FALSE(exact.empty());
+  auto synthetic = rewriter.GenerateSyntheticData(
+      corpus_->kb, exact, corpus_->kb.EntitiesInDomain("tgt"), &rng);
+  ASSERT_EQ(synthetic.size(), exact.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(synthetic[i].source, data::ExampleSource::kRewritten);
+    EXPECT_EQ(synthetic[i].entity_id, exact[i].entity_id);  // no mislabels
+    if (synthetic[i].mention != exact[i].mention) ++changed;
+  }
+  EXPECT_GT(changed, exact.size() * 9 / 10);
+}
+
+TEST_F(RewriterTest, MislabelRateApproximatelyRespected) {
+  RewriterOptions opts;
+  opts.garbage_rate = 0.0;
+  opts.mislabel_rate = 0.3;
+  MentionRewriter rewriter(opts);
+  util::Rng rng(1);
+  ASSERT_TRUE(
+      rewriter.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng).ok());
+  ExactMatcher matcher(corpus_->kb, "tgt");
+  auto exact = matcher.MatchAll(corpus_->DocumentsIn("tgt"));
+  auto synthetic = rewriter.GenerateSyntheticData(
+      corpus_->kb, exact, corpus_->kb.EntitiesInDomain("tgt"), &rng);
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (synthetic[i].entity_id != exact[i].entity_id) ++flipped;
+  }
+  const double rate = static_cast<double>(flipped) / exact.size();
+  EXPECT_NEAR(rate, 0.3, 0.08);
+}
+
+TEST_F(RewriterTest, AdaptationFiltersGarbage) {
+  // With a high garbage rate, the adapted rewriter must emit fewer
+  // out-of-domain candidates than the unadapted one.
+  RewriterOptions opts;
+  opts.garbage_rate = 0.6;
+  opts.mislabel_rate = 0.0;
+  MentionRewriter plain(opts), adapted(opts);
+  util::Rng rng1(1), rng2(1);
+  ASSERT_TRUE(
+      plain.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng1).ok());
+  ASSERT_TRUE(
+      adapted.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng2).ok());
+  adapted.AdaptToDomain(corpus_->DocumentsIn("tgt"));
+  EXPECT_TRUE(adapted.adapted());
+  EXPECT_FALSE(plain.adapted());
+
+  // Compare corpus fit of rewritten mentions under the target-domain stats.
+  text::TfIdfStats tgt_stats;
+  text::Tokenizer tok;
+  for (const auto& doc : corpus_->DocumentsIn("tgt")) {
+    tgt_stats.AddDocument(tok.Tokenize(doc));
+  }
+  double plain_ppl = 0, adapted_ppl = 0;
+  int n = 0;
+  for (kb::EntityId id : corpus_->kb.EntitiesInDomain("tgt")) {
+    const auto& e = corpus_->kb.entity(id);
+    plain_ppl += tgt_stats.PerplexityProxy(tok.Tokenize(plain.Rewrite(e, &rng1)));
+    adapted_ppl +=
+        tgt_stats.PerplexityProxy(tok.Tokenize(adapted.Rewrite(e, &rng2)));
+    if (++n >= 60) break;
+  }
+  EXPECT_LT(adapted_ppl, plain_ppl);
+}
+
+// ---- seed selectors --------------------------------------------------------
+
+TEST_F(RewriterTest, FilterSeedsEnforceRules) {
+  RewriterOptions opts;
+  opts.garbage_rate = 0.2;
+  MentionRewriter rewriter(opts);
+  util::Rng rng(1);
+  ASSERT_TRUE(
+      rewriter.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng).ok());
+  ExactMatcher matcher(corpus_->kb, "tgt");
+  auto exact = matcher.MatchAll(corpus_->DocumentsIn("tgt"));
+  auto synthetic = rewriter.GenerateSyntheticData(
+      corpus_->kb, exact, corpus_->kb.EntitiesInDomain("tgt"), &rng);
+  auto seeds = FilterSeeds(corpus_->kb, synthetic, 25);
+  EXPECT_LE(seeds.size(), 25u);
+  EXPECT_FALSE(seeds.empty());
+  text::Tokenizer tok;
+  for (const auto& s : seeds) {
+    EXPECT_EQ(s.source, data::ExampleSource::kGold);
+    const auto& entity = corpus_->kb.entity(s.entity_id);
+    auto title_tokens = tok.Tokenize(entity.title);
+    std::set<std::string> title_set(title_tokens.begin(), title_tokens.end());
+    auto desc_tokens = tok.Tokenize(entity.description);
+    std::set<std::string> desc_set(desc_tokens.begin(), desc_tokens.end());
+    for (const auto& t : tok.Tokenize(s.mention)) {
+      EXPECT_EQ(title_set.count(t), 0u);
+      EXPECT_EQ(desc_set.count(t), 1u);
+    }
+  }
+}
+
+TEST_F(RewriterTest, SelfMatchSeedsComeFromDisambiguatedEntities) {
+  auto seeds = SelfMatchSeeds(corpus_->kb, "tgt", 20);
+  EXPECT_FALSE(seeds.empty());
+  for (const auto& s : seeds) {
+    const auto& entity = corpus_->kb.entity(s.entity_id);
+    std::string phrase;
+    const std::string base = text::StripDisambiguation(entity.title, &phrase);
+    EXPECT_FALSE(phrase.empty());
+    EXPECT_EQ(s.mention, base);
+    EXPECT_EQ(s.domain, "tgt");
+  }
+}
+
+TEST_F(RewriterTest, HeuristicSeedsCombineAndCap) {
+  RewriterOptions opts;
+  MentionRewriter rewriter(opts);
+  util::Rng rng(1);
+  ASSERT_TRUE(
+      rewriter.Train(corpus_->kb, corpus_->ExamplesIn("src"), &rng).ok());
+  ExactMatcher matcher(corpus_->kb, "tgt");
+  auto exact = matcher.MatchAll(corpus_->DocumentsIn("tgt"));
+  auto synthetic = rewriter.GenerateSyntheticData(
+      corpus_->kb, exact, corpus_->kb.EntitiesInDomain("tgt"), &rng);
+  auto seeds = HeuristicSeeds(corpus_->kb, "tgt", synthetic, 30);
+  EXPECT_LE(seeds.size(), 30u);
+  EXPECT_GE(seeds.size(), 10u);
+}
+
+// ---- bad data --------------------------------------------------------------
+
+TEST_F(RewriterTest, InjectBadDataRelinksToWrongEntity) {
+  util::Rng rng(5);
+  const auto& gold = corpus_->ExamplesIn("tgt");
+  auto bad = InjectBadData(corpus_->kb, gold, 50, &rng);
+  EXPECT_EQ(bad.size(), 50u);
+  for (const auto& b : bad) {
+    EXPECT_EQ(b.source, data::ExampleSource::kInjectedBad);
+    EXPECT_EQ(corpus_->kb.entity(b.entity_id).domain, "tgt");
+  }
+  // The relink must actually change labels most of the time: compare to the
+  // mention surface's true gold by matching contexts in the source list.
+  std::size_t same = 0;
+  for (const auto& b : bad) {
+    for (const auto& g : gold) {
+      if (g.mention == b.mention && g.left_context == b.left_context &&
+          g.entity_id == b.entity_id) {
+        ++same;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(BadDataTest, EmptySourceYieldsNothing) {
+  kb::KnowledgeBase kb;
+  util::Rng rng(1);
+  EXPECT_TRUE(InjectBadData(kb, {}, 10, &rng).empty());
+}
+
+}  // namespace
+}  // namespace metablink::gen

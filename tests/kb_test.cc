@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "kb/title_index.h"
+#include "util/serialize.h"
+
+namespace metablink::kb {
+namespace {
+
+Entity MakeEntity(const std::string& title, const std::string& desc,
+                  const std::string& domain) {
+  Entity e;
+  e.title = title;
+  e.description = desc;
+  e.domain = domain;
+  return e;
+}
+
+class KnowledgeBaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *kb_.AddEntity(MakeEntity("Jack Atlas", "a duelist", "yugioh"));
+    b_ = *kb_.AddEntity(MakeEntity("SORA (satellite)",
+                                   "SORA is the satellite of misgarth",
+                                   "yugioh"));
+    c_ = *kb_.AddEntity(MakeEntity("SORA (program)", "a program", "yugioh"));
+    d_ = *kb_.AddEntity(MakeEntity("Brick", "a brick", "lego"));
+  }
+
+  KnowledgeBase kb_;
+  EntityId a_, b_, c_, d_;
+};
+
+TEST_F(KnowledgeBaseTest, IdsAreDense) {
+  EXPECT_EQ(a_, 0u);
+  EXPECT_EQ(d_, 3u);
+  EXPECT_EQ(kb_.num_entities(), 4u);
+}
+
+TEST_F(KnowledgeBaseTest, GetEntity) {
+  auto e = kb_.GetEntity(a_);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->title, "Jack Atlas");
+  EXPECT_FALSE(kb_.GetEntity(99).ok());
+}
+
+TEST_F(KnowledgeBaseTest, DuplicateTitleSameDomainRejected) {
+  auto r = kb_.AddEntity(MakeEntity("Jack Atlas", "again", "yugioh"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kAlreadyExists);
+}
+
+TEST_F(KnowledgeBaseTest, SameTitleDifferentDomainAllowed) {
+  auto r = kb_.AddEntity(MakeEntity("Jack Atlas", "lego jack", "lego"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(KnowledgeBaseTest, EmptyTitleRejected) {
+  EXPECT_FALSE(kb_.AddEntity(MakeEntity("", "x", "lego")).ok());
+}
+
+TEST_F(KnowledgeBaseTest, FindByTitle) {
+  auto r = kb_.FindByTitle("yugioh", "Jack Atlas");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, a_);
+  EXPECT_FALSE(kb_.FindByTitle("lego", "Jack Atlas").ok());
+}
+
+TEST_F(KnowledgeBaseTest, DomainPartition) {
+  EXPECT_EQ(kb_.EntitiesInDomain("yugioh").size(), 3u);
+  EXPECT_EQ(kb_.EntitiesInDomain("lego").size(), 1u);
+  EXPECT_TRUE(kb_.EntitiesInDomain("absent").empty());
+  auto names = kb_.DomainNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "yugioh");
+}
+
+TEST_F(KnowledgeBaseTest, RelationsInterned) {
+  RelationId r1 = kb_.AddRelation("rival_of");
+  RelationId r2 = kb_.AddRelation("rival_of");
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(kb_.RelationName(r1), "rival_of");
+  EXPECT_EQ(kb_.RelationName(42), "");
+  EXPECT_EQ(kb_.num_relations(), 1u);
+}
+
+TEST_F(KnowledgeBaseTest, TriplesValidated) {
+  RelationId r = kb_.AddRelation("rival_of");
+  ASSERT_TRUE(kb_.AddTriple(a_, r, b_).ok());
+  EXPECT_FALSE(kb_.AddTriple(a_, r, 99).ok());
+  EXPECT_FALSE(kb_.AddTriple(a_, 7, b_).ok());
+  auto from_a = kb_.TriplesFrom(a_);
+  ASSERT_EQ(from_a.size(), 1u);
+  EXPECT_EQ(from_a[0].tail, b_);
+  EXPECT_TRUE(kb_.TriplesFrom(d_).empty());
+}
+
+TEST_F(KnowledgeBaseTest, SerializationRoundTrip) {
+  RelationId r = kb_.AddRelation("rel");
+  ASSERT_TRUE(kb_.AddTriple(a_, r, d_).ok());
+  util::BinaryWriter w;
+  kb_.Save(&w);
+  util::BinaryReader reader(w.buffer());
+  auto loaded = KnowledgeBase::Load(&reader);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_entities(), kb_.num_entities());
+  EXPECT_EQ(loaded->entity(b_).title, "SORA (satellite)");
+  EXPECT_EQ(loaded->triples().size(), 1u);
+  EXPECT_EQ(loaded->RelationName(0), "rel");
+  EXPECT_EQ(loaded->EntitiesInDomain("yugioh").size(), 3u);
+}
+
+TEST_F(KnowledgeBaseTest, LoadRejectsTruncated) {
+  util::BinaryWriter w;
+  kb_.Save(&w);
+  auto buf = w.buffer();
+  buf.resize(buf.size() / 2);
+  util::BinaryReader reader(std::move(buf));
+  EXPECT_FALSE(KnowledgeBase::Load(&reader).ok());
+}
+
+// ---- TitleIndex ------------------------------------------------------------
+
+TEST_F(KnowledgeBaseTest, TitleIndexExactMatch) {
+  TitleIndex index(kb_, "yugioh");
+  auto hits = index.LookupExact("jack atlas");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], a_);
+  EXPECT_TRUE(index.LookupExact("Brick").empty());  // other domain
+  EXPECT_EQ(index.num_indexed(), 3u);
+}
+
+TEST_F(KnowledgeBaseTest, TitleIndexNormalizes) {
+  TitleIndex index(kb_, "yugioh");
+  EXPECT_EQ(index.LookupExact("JACK   ATLAS!").size(), 1u);
+}
+
+TEST_F(KnowledgeBaseTest, TitleIndexBaseMatchesDisambiguated) {
+  TitleIndex index(kb_, "yugioh");
+  auto hits = index.LookupBase("SORA");
+  ASSERT_EQ(hits.size(), 2u);  // both SORA (...) siblings
+  auto all = index.LookupAll("SORA");
+  EXPECT_EQ(all.size(), 2u);  // no exact title "SORA"
+}
+
+TEST_F(KnowledgeBaseTest, TitleIndexAcrossAllDomains) {
+  TitleIndex index(kb_);
+  EXPECT_EQ(index.num_indexed(), 4u);
+  EXPECT_EQ(index.LookupExact("brick").size(), 1u);
+}
+
+}  // namespace
+}  // namespace metablink::kb

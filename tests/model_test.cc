@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/generator.h"
+#include "model/bi_encoder.h"
+#include "model/cross_encoder.h"
+#include "model/features.h"
+#include "tensor/optimizer.h"
+
+namespace metablink::model {
+namespace {
+
+data::LinkingExample MakeExample(const std::string& mention,
+                                 const std::string& left,
+                                 const std::string& right,
+                                 kb::EntityId id = 0) {
+  data::LinkingExample ex;
+  ex.mention = mention;
+  ex.left_context = left;
+  ex.right_context = right;
+  ex.entity_id = id;
+  ex.domain = "d";
+  return ex;
+}
+
+kb::Entity MakeEntity(const std::string& title, const std::string& desc) {
+  kb::Entity e;
+  e.title = title;
+  e.description = desc;
+  e.domain = "d";
+  return e;
+}
+
+// ---- Featurizer ------------------------------------------------------------
+
+TEST(FeaturizerTest, MentionBagNonEmptyAndBounded) {
+  Featurizer f;
+  auto bag = f.MentionBag(MakeExample("hero", "the great", "of the realm"));
+  EXPECT_FALSE(bag.empty());
+  for (auto id : bag) EXPECT_LT(id, f.num_buckets());
+}
+
+TEST(FeaturizerTest, MentionVsTitleFieldsSeparated) {
+  // The same word as mention vs. as title must hash differently.
+  Featurizer f;
+  auto mention_bag = f.MentionBag(MakeExample("hero", "", ""));
+  auto entity_bag = f.EntityBag(MakeEntity("hero", ""));
+  EXPECT_NE(mention_bag, entity_bag);
+}
+
+TEST(FeaturizerTest, ContextContributes) {
+  Featurizer f;
+  auto without = f.MentionBag(MakeExample("hero", "", ""));
+  auto with = f.MentionBag(MakeExample("hero", "castle", ""));
+  EXPECT_GT(with.size(), without.size());
+}
+
+TEST(FeaturizerTest, OverlapFeaturesHighOverlap) {
+  Featurizer f;
+  auto feats = f.OverlapFeatures(MakeExample("red dragon", "a", "b"),
+                                 MakeEntity("Red Dragon", "fire beast"));
+  ASSERT_EQ(feats.size(), kNumOverlapFeatures);
+  EXPECT_EQ(feats[0], 1.0f);  // exact match flag
+  EXPECT_EQ(feats[2], 1.0f);  // token jaccard
+}
+
+TEST(FeaturizerTest, OverlapFeaturesDisjoint) {
+  Featurizer f;
+  auto feats = f.OverlapFeatures(MakeExample("zzz", "aaa", "bbb"),
+                                 MakeEntity("Red Dragon", "fire beast"));
+  EXPECT_EQ(feats[0], 0.0f);
+  EXPECT_EQ(feats[2], 0.0f);
+  EXPECT_EQ(feats[4], 0.0f);
+}
+
+TEST(FeaturizerTest, MentionInDescriptionFraction) {
+  Featurizer f;
+  auto feats =
+      f.OverlapFeatures(MakeExample("fire beast", "", ""),
+                        MakeEntity("Red Dragon", "a fire beast of legend"));
+  EXPECT_FLOAT_EQ(feats[4], 1.0f);
+}
+
+// ---- BiEncoder -------------------------------------------------------------
+
+class BiEncoderTest : public ::testing::Test {
+ protected:
+  BiEncoderTest() : rng_(3), model_(MakeConfig(), &rng_) {
+    for (int i = 0; i < 4; ++i) {
+      kb_.AddEntity(MakeEntity("entity" + std::to_string(i),
+                               "description of number " + std::to_string(i)));
+    }
+  }
+
+  static BiEncoderConfig MakeConfig() {
+    BiEncoderConfig cfg;
+    cfg.features.hasher.num_buckets = 512;
+    cfg.dim = 16;
+    return cfg;
+  }
+
+  util::Rng rng_;
+  BiEncoder model_;
+  kb::KnowledgeBase kb_;
+};
+
+TEST_F(BiEncoderTest, EncodingsAreUnitRows) {
+  tensor::Graph g;
+  std::vector<data::LinkingExample> examples = {
+      MakeExample("a", "x y", "z"), MakeExample("b", "", "w")};
+  tensor::Var m = model_.EncodeMentions(&g, examples);
+  const auto& t = g.value(m);
+  ASSERT_EQ(t.rows(), 2u);
+  ASSERT_EQ(t.cols(), 16u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    float norm2 = tensor::Dot(t.row_data(r), t.row_data(r), t.cols());
+    EXPECT_NEAR(norm2, 1.0f, 1e-5);
+  }
+}
+
+TEST_F(BiEncoderTest, InBatchLossShapeAndFinite) {
+  std::vector<data::LinkingExample> batch;
+  for (kb::EntityId i = 0; i < 4; ++i) {
+    batch.push_back(MakeExample("m" + std::to_string(i), "ctx", "ctx", i));
+  }
+  tensor::Graph g;
+  tensor::Var loss = model_.InBatchLoss(&g, batch, kb_);
+  ASSERT_EQ(g.value(loss).rows(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(g.value(loss).at(i, 0)));
+    EXPECT_GT(g.value(loss).at(i, 0), 0.0f);
+  }
+}
+
+TEST_F(BiEncoderTest, TrainingStepReducesLoss) {
+  // Distinct mention/context words so the batch is separable (heavy char
+  // n-gram sharing between "mention0".."mention3" makes the 4-way task
+  // nearly degenerate otherwise).
+  static const char* kMentions[] = {"kordal", "fenwip", "zubrak", "mivolo"};
+  static const char* kContexts[] = {"harbor tide", "ember forge",
+                                    "glade moss", "dune spire"};
+  std::vector<data::LinkingExample> batch;
+  for (kb::EntityId i = 0; i < 4; ++i) {
+    batch.push_back(MakeExample(kMentions[i], kContexts[i], "", i));
+  }
+  tensor::AdamOptimizer opt(0.02f);
+  float first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    tensor::Graph g;
+    tensor::Var loss = model_.InBatchLoss(&g, batch, kb_);
+    float total = 0;
+    for (std::size_t i = 0; i < 4; ++i) total += g.value(loss).at(i, 0);
+    if (step == 0) first = total;
+    last = total;
+    model_.params()->ZeroGrads();
+    g.Backward(loss);
+    opt.Step(model_.params());
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST_F(BiEncoderTest, EmbedApisMatchGraphEncoding) {
+  std::vector<data::LinkingExample> examples = {MakeExample("a", "b", "c", 1)};
+  tensor::Tensor direct = model_.EmbedMentions(examples);
+  tensor::Graph g;
+  const auto& via_graph = g.value(model_.EncodeMentions(&g, examples));
+  ASSERT_EQ(direct.size(), via_graph.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(direct.data()[i], via_graph.data()[i]);
+  }
+  tensor::Tensor ents = model_.EmbedEntityIds({0, 1}, kb_);
+  EXPECT_EQ(ents.rows(), 2u);
+}
+
+TEST_F(BiEncoderTest, SaveLoadPreservesEmbeddings) {
+  const std::string path = "/tmp/metablink_bi_test.bin";
+  ASSERT_TRUE(model_.SaveToFile(path).ok());
+  util::Rng rng2(777);  // different init
+  BiEncoder other(MakeConfig(), &rng2);
+  std::vector<data::LinkingExample> ex = {MakeExample("a", "b", "c")};
+  tensor::Tensor before = other.EmbedMentions(ex);
+  ASSERT_TRUE(other.LoadFromFile(path).ok());
+  tensor::Tensor after = other.EmbedMentions(ex);
+  tensor::Tensor original = model_.EmbedMentions(ex);
+  bool changed = false;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_FLOAT_EQ(after.data()[i], original.data()[i]);
+    if (after.data()[i] != before.data()[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+  std::remove(path.c_str());
+}
+
+TEST_F(BiEncoderTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(model_.LoadFromFile("/nonexistent/ckpt.bin").ok());
+}
+
+// ---- CrossEncoder ----------------------------------------------------------
+
+class CrossEncoderTest : public ::testing::Test {
+ protected:
+  CrossEncoderTest() : rng_(5), model_(MakeConfig(), &rng_) {}
+
+  static CrossEncoderConfig MakeConfig() {
+    CrossEncoderConfig cfg;
+    cfg.features.hasher.num_buckets = 512;
+    cfg.dim = 16;
+    cfg.hidden = 16;
+    return cfg;
+  }
+
+  util::Rng rng_;
+  CrossEncoder model_;
+};
+
+TEST_F(CrossEncoderTest, ScoresOnePerCandidate) {
+  auto ex = MakeExample("hero", "brave", "fights");
+  std::vector<kb::Entity> candidates = {
+      MakeEntity("hero", "a brave fighter"),
+      MakeEntity("villain", "an evil schemer"),
+      MakeEntity("castle", "a big building")};
+  auto scores = model_.Score(ex, candidates);
+  ASSERT_EQ(scores.size(), 3u);
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_F(CrossEncoderTest, RankingLossTrainsTowardGold) {
+  auto ex = MakeExample("kresto", "vanor belem kresto sign", "vanor ruled");
+  std::vector<kb::Entity> candidates = {
+      MakeEntity("alpha one", "vanor belem kresto the king sign"),
+      MakeEntity("beta two", "melko dran forest wild"),
+      MakeEntity("gamma three", "ocean tide water deep")};
+  tensor::AdamOptimizer opt(0.05f);
+  for (int step = 0; step < 40; ++step) {
+    tensor::Graph g;
+    tensor::Var loss = model_.RankingLoss(&g, ex, candidates, 0);
+    model_.params()->ZeroGrads();
+    g.Backward(loss);
+    opt.Step(model_.params());
+  }
+  auto scores = model_.Score(ex, candidates);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], scores[2]);
+}
+
+TEST_F(CrossEncoderTest, SaveLoadPreservesScores) {
+  const std::string path = "/tmp/metablink_cross_test.bin";
+  ASSERT_TRUE(model_.SaveToFile(path).ok());
+  util::Rng rng2(888);
+  CrossEncoder other(MakeConfig(), &rng2);
+  ASSERT_TRUE(other.LoadFromFile(path).ok());
+  auto ex = MakeExample("a", "b", "c");
+  std::vector<kb::Entity> cands = {MakeEntity("x", "y z")};
+  EXPECT_FLOAT_EQ(model_.Score(ex, cands)[0], other.Score(ex, cands)[0]);
+  std::remove(path.c_str());
+}
+
+// ---- parameterized: dims sweep ---------------------------------------------
+
+class BiEncoderDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BiEncoderDimSweep, UnitNormAtAnyDim) {
+  BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 256;
+  cfg.dim = GetParam();
+  util::Rng rng(1);
+  BiEncoder model(cfg, &rng);
+  tensor::Graph g;
+  auto v = model.EncodeMentions(&g, {MakeExample("word", "some ctx", "")});
+  const auto& t = g.value(v);
+  ASSERT_EQ(t.cols(), GetParam());
+  EXPECT_NEAR(tensor::Dot(t.row_data(0), t.row_data(0), t.cols()), 1.0f,
+              1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BiEncoderDimSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace metablink::model

@@ -1,0 +1,257 @@
+// Property-based suites (parameterized sweeps over seeds and sizes) for
+// cross-module invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "data/generator.h"
+#include "model/bi_encoder.h"
+#include "retrieval/dense_index.h"
+#include "tensor/graph.h"
+#include "text/rouge.h"
+#include "text/string_metrics.h"
+#include "train/dl4el_trainer.h"
+#include "util/rng.h"
+
+namespace metablink {
+namespace {
+
+// ---- Softmax cross entropy vs. manual computation across shapes ------------
+
+class SoftmaxProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(SoftmaxProperty, MatchesManualLogSumExp) {
+  auto [rows, cols, seed] = GetParam();
+  util::Rng rng(seed);
+  tensor::Tensor logits(rows, cols);
+  for (float& v : logits.data()) v = rng.NextFloat(-5, 5);
+  std::vector<std::size_t> targets(rows);
+  for (auto& t : targets) t = rng.NextUint64(cols);
+
+  tensor::Graph g;
+  auto loss = g.SoftmaxCrossEntropy(g.Input(logits), targets);
+  for (int r = 0; r < rows; ++r) {
+    double mx = logits.at(r, 0);
+    for (int c = 1; c < cols; ++c) mx = std::max<double>(mx, logits.at(r, c));
+    double lse = 0;
+    for (int c = 0; c < cols; ++c) lse += std::exp(logits.at(r, c) - mx);
+    double manual = std::log(lse) + mx - logits.at(r, targets[r]);
+    EXPECT_NEAR(g.value(loss).at(r, 0), manual, 1e-4);
+    EXPECT_GE(g.value(loss).at(r, 0), -1e-5);  // CE is non-negative
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SoftmaxProperty,
+    ::testing::Values(std::make_tuple(1, 2, 1), std::make_tuple(3, 7, 2),
+                      std::make_tuple(8, 64, 3), std::make_tuple(2, 128, 4)));
+
+// ---- Retrieval: top-k is the true top-k for any k ---------------------------
+
+class TopKProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopKProperty, ContainsTrueMaxima) {
+  const std::size_t k = GetParam();
+  util::Rng rng(k * 131 + 7);
+  const std::size_t n = 64, d = 8;
+  tensor::Tensor emb(n, d);
+  for (float& v : emb.data()) v = rng.NextFloat(-1, 1);
+  std::vector<kb::EntityId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  retrieval::DenseIndex index;
+  ASSERT_TRUE(index.Build(emb, ids).ok());
+
+  std::vector<float> q(d);
+  for (float& v : q) v = rng.NextFloat(-1, 1);
+  auto top = index.TopK(q.data(), k);
+  ASSERT_EQ(top.size(), std::min(k, n));
+  // Every returned score >= every non-returned score.
+  std::set<kb::EntityId> returned;
+  for (const auto& s : top) returned.insert(s.id);
+  float min_returned = top.back().score;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (returned.count(static_cast<kb::EntityId>(i))) continue;
+    float s = tensor::Dot(q.data(), emb.row_data(i), d);
+    EXPECT_LE(s, min_returned + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKProperty,
+                         ::testing::Values(1, 2, 5, 16, 63, 64, 100));
+
+// ---- Generator: invariants across seeds and gaps ----------------------------
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(GeneratorProperty, WorldIsInternallyConsistent) {
+  auto [seed, gap] = GetParam();
+  data::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.shared_vocab_size = 250;
+  opts.domain_vocab_size = 120;
+  data::ZeshelLikeGenerator gen(opts);
+  std::vector<data::DomainSpec> specs(1);
+  specs[0].name = "p";
+  specs[0].num_entities = 70;
+  specs[0].num_examples = 140;
+  specs[0].num_documents = 30;
+  specs[0].gap = gap;
+  auto corpus = gen.Generate(specs);
+  ASSERT_TRUE(corpus.ok());
+
+  // Titles unique within the domain; descriptions non-empty and contain the
+  // base title prefix.
+  std::set<std::string> titles;
+  for (kb::EntityId id : corpus->kb.EntitiesInDomain("p")) {
+    const auto& e = corpus->kb.entity(id);
+    EXPECT_TRUE(titles.insert(e.title).second) << "duplicate " << e.title;
+    EXPECT_GT(e.description.size(), e.title.size());
+  }
+  // Every example's gold entity exists and is in-domain; contexts non-empty.
+  for (const auto& ex : corpus->ExamplesIn("p")) {
+    ASSERT_LT(ex.entity_id, corpus->kb.num_entities());
+    EXPECT_EQ(corpus->kb.entity(ex.entity_id).domain, "p");
+    EXPECT_FALSE(ex.left_context.empty());
+    EXPECT_FALSE(ex.right_context.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndGaps, GeneratorProperty,
+    ::testing::Combine(::testing::Values(1u, 17u, 333u),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+// ---- Bi-encoder: score symmetry/normalization across batch sizes ------------
+
+class BiEncoderBatchProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BiEncoderBatchProperty, ScoresAreBoundedCosines) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 512;
+  cfg.dim = 16;
+  model::BiEncoder model(cfg, &rng);
+
+  std::vector<data::LinkingExample> examples(n);
+  std::vector<kb::Entity> entities(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    examples[i].mention = "mention" + std::to_string(i * 31);
+    examples[i].left_context = "ctx" + std::to_string(i);
+    entities[i].title = "title" + std::to_string(i * 17);
+    entities[i].description = "desc words " + std::to_string(i);
+  }
+  tensor::Graph g;
+  auto m = model.EncodeMentions(&g, examples);
+  auto e = model.EncodeEntities(&g, entities);
+  auto scores = g.MatMulTransposeB(m, e);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float s = g.value(scores).at(i, j);
+      EXPECT_LE(std::abs(s), 1.0f + 1e-5) << "cosine out of range";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BiEncoderBatchProperty,
+                         ::testing::Values(1, 2, 5, 16, 33));
+
+// ---- DL4EL selection weights: distribution properties over random losses ----
+
+class Dl4elProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Dl4elProperty, WeightsFormDistributionAndRankInversely) {
+  util::Rng rng(GetParam());
+  train::Dl4elOptions opts;
+  opts.noise_ratio = 0.3;
+  train::Dl4elTrainer trainer(opts);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::size_t n = 2 + rng.NextUint64(30);
+    std::vector<float> losses(n);
+    for (float& l : losses) l = rng.NextFloat(0.0f, 8.0f);
+    auto w = trainer.SelectionWeights(losses);
+    ASSERT_EQ(w.size(), n);
+    float total = std::accumulate(w.begin(), w.end(), 0.0f);
+    EXPECT_NEAR(total, 1.0f, 1e-4);
+    // The min-loss example never gets less weight than the max-loss one.
+    std::size_t lo = std::min_element(losses.begin(), losses.end()) -
+                     losses.begin();
+    std::size_t hi = std::max_element(losses.begin(), losses.end()) -
+                     losses.begin();
+    EXPECT_GE(w[lo], w[hi] - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Dl4elProperty, ::testing::Values(5, 6, 7));
+
+// ---- ROUGE: metric properties -----------------------------------------------
+
+class RougeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RougeProperty, BoundedSymmetricF1) {
+  util::Rng rng(GetParam());
+  auto random_seq = [&rng]() {
+    std::vector<std::string> s;
+    std::size_t len = 1 + rng.NextUint64(8);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(std::string(1, static_cast<char>('a' + rng.NextUint64(5))));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 30; ++iter) {
+    auto a = random_seq(), b = random_seq();
+    auto ab = text::RougeN(a, b, 1);
+    auto ba = text::RougeN(b, a, 1);
+    EXPECT_GE(ab.f1, 0.0);
+    EXPECT_LE(ab.f1, 1.0);
+    // F1 is symmetric (precision/recall swap).
+    EXPECT_NEAR(ab.f1, ba.f1, 1e-9);
+    EXPECT_NEAR(ab.precision, ba.recall, 1e-9);
+    // Self-comparison is perfect.
+    EXPECT_DOUBLE_EQ(text::RougeN(a, a, 1).f1, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RougeProperty, ::testing::Values(11, 12, 13));
+
+// ---- Overlap classifier: exhaustive consistency ------------------------------
+
+class OverlapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverlapProperty, CategoriesArePartition) {
+  util::Rng rng(GetParam());
+  auto word = [&rng]() {
+    std::string w;
+    for (int i = 0; i < 3; ++i) {
+      w += static_cast<char>('a' + rng.NextUint64(6));
+    }
+    return w;
+  };
+  for (int iter = 0; iter < 60; ++iter) {
+    std::string base = word() + " " + word();
+    // Build titles/mentions in all four regimes and verify classification.
+    EXPECT_EQ(text::ClassifyOverlap(base, base),
+              text::OverlapCategory::kHighOverlap);
+    EXPECT_EQ(text::ClassifyOverlap(base, base + " (" + word() + ")"),
+              text::OverlapCategory::kMultipleCategories);
+    std::string first_word = base.substr(0, base.find(' '));
+    auto cat = text::ClassifyOverlap(first_word, base);
+    // A single word of a two-word title is a substring (or, if both words
+    // are identical, an exact match).
+    EXPECT_TRUE(cat == text::OverlapCategory::kAmbiguousSubstring ||
+                cat == text::OverlapCategory::kHighOverlap);
+    std::string unrelated = "zzz qqq www";
+    EXPECT_EQ(text::ClassifyOverlap(unrelated, base),
+              text::OverlapCategory::kLowOverlap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapProperty, ::testing::Values(21, 22));
+
+}  // namespace
+}  // namespace metablink

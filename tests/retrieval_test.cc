@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "retrieval/dense_index.h"
+#include "util/rng.h"
+
+namespace metablink::retrieval {
+namespace {
+
+tensor::Tensor RandomEmbeddings(std::size_t n, std::size_t d,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t(n, d);
+  for (float& v : t.data()) v = rng.NextFloat(-1, 1);
+  return t;
+}
+
+std::vector<kb::EntityId> Iota(std::size_t n) {
+  std::vector<kb::EntityId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<kb::EntityId>(i);
+  return ids;
+}
+
+TEST(DenseIndexTest, BuildValidatesInput) {
+  DenseIndex index;
+  EXPECT_FALSE(index.Build(tensor::Tensor(2, 3), Iota(5)).ok());
+  EXPECT_FALSE(index.Build(tensor::Tensor(0, 0), {}).ok());
+  EXPECT_TRUE(index.Build(RandomEmbeddings(5, 3, 1), Iota(5)).ok());
+  EXPECT_TRUE(index.built());
+  EXPECT_EQ(index.size(), 5u);
+  EXPECT_EQ(index.dim(), 3u);
+}
+
+TEST(DenseIndexTest, TopKMatchesBruteForce) {
+  const std::size_t n = 200, d = 8;
+  tensor::Tensor emb = RandomEmbeddings(n, d, 2);
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(emb, Iota(n)).ok());
+
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    auto top = index.TopK(q.data(), 7);
+    ASSERT_EQ(top.size(), 7u);
+    // Scores descending.
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      EXPECT_GE(top[i - 1].score, top[i].score);
+    }
+    // Best equals brute-force argmax.
+    float best = -1e30f;
+    kb::EntityId best_id = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      float s = tensor::Dot(q.data(), emb.row_data(i), d);
+      if (s > best) {
+        best = s;
+        best_id = static_cast<kb::EntityId>(i);
+      }
+    }
+    EXPECT_EQ(top[0].id, best_id);
+    EXPECT_NEAR(top[0].score, best, 1e-5);
+  }
+}
+
+TEST(DenseIndexTest, KLargerThanIndexClamps) {
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(4, 3, 4), Iota(4)).ok());
+  float q[3] = {1, 0, 0};
+  EXPECT_EQ(index.TopK(q, 100).size(), 4u);
+}
+
+TEST(DenseIndexTest, DeterministicTieBreakById) {
+  // Two identical rows: the smaller id must always come first.
+  tensor::Tensor emb(3, 2);
+  emb.at(0, 0) = 1.0f;
+  emb.at(1, 0) = 1.0f;  // duplicate of row 0
+  emb.at(2, 1) = 1.0f;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(emb, {10, 5, 7}).ok());
+  float q[2] = {1, 0};
+  auto top = index.TopK(q, 2);
+  EXPECT_EQ(top[0].id, 5u);
+  EXPECT_EQ(top[1].id, 10u);
+}
+
+TEST(DenseIndexTest, BatchTopKMatchesSingle) {
+  const std::size_t n = 100, d = 6;
+  tensor::Tensor emb = RandomEmbeddings(n, d, 5);
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(emb, Iota(n)).ok());
+  tensor::Tensor queries = RandomEmbeddings(9, d, 6);
+
+  util::ThreadPool pool(3);
+  auto batched = index.BatchTopK(queries, 5, &pool);
+  auto serial = index.BatchTopK(queries, 5, nullptr);
+  ASSERT_EQ(batched.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    ASSERT_EQ(batched[i].size(), serial[i].size());
+    for (std::size_t k = 0; k < batched[i].size(); ++k) {
+      EXPECT_EQ(batched[i][k].id, serial[i][k].id);
+    }
+    auto single = index.TopK(queries.row_data(i), 5);
+    EXPECT_EQ(batched[i][0].id, single[0].id);
+  }
+}
+
+}  // namespace
+}  // namespace metablink::retrieval

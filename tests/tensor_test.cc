@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/graph.h"
+#include "tensor/optimizer.h"
+#include "tensor/parameter.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace metablink::tensor {
+namespace {
+
+// ---- Tensor ----------------------------------------------------------------
+
+TEST(TensorTest, ShapeAndIndexing) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t.data()[5], 5.0f);
+  EXPECT_EQ(t.Row(1)[2], 5.0f);
+}
+
+TEST(TensorTest, RowVectorAndZero) {
+  Tensor t = Tensor::RowVector({1, 2, 3});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+  t.SetZero();
+  EXPECT_EQ(t.Norm(), 0.0f);
+}
+
+TEST(TensorTest, DotAndAxpy) {
+  float a[] = {1, 2, 3};
+  float b[] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 32.0f);
+  Axpy(2.0f, a, b, 3);
+  EXPECT_FLOAT_EQ(b[0], 6.0f);
+  EXPECT_FLOAT_EQ(b[2], 12.0f);
+}
+
+// ---- ParameterStore --------------------------------------------------------
+
+TEST(ParameterStoreTest, CreateAndFind) {
+  ParameterStore store;
+  Parameter* p = store.Create("w", 2, 3);
+  EXPECT_EQ(store.Find("w"), p);
+  EXPECT_EQ(store.Find("absent"), nullptr);
+  EXPECT_EQ(store.TotalSize(), 6u);
+}
+
+TEST(ParameterStoreTest, XavierInitWithinBounds) {
+  ParameterStore store;
+  util::Rng rng(5);
+  Parameter* p = store.CreateXavier("w", 10, 10, &rng);
+  const float bound = std::sqrt(6.0f / 20.0f);
+  bool nonzero = false;
+  for (float v : p->value.data()) {
+    EXPECT_LE(std::abs(v), bound);
+    if (v != 0.0f) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(ParameterStoreTest, FlattenAndLoadValuesRoundTrip) {
+  ParameterStore store;
+  util::Rng rng(5);
+  store.CreateNormal("a", 3, 4, 1.0f, &rng);
+  store.CreateNormal("b", 2, 2, 1.0f, &rng);
+  auto flat = store.FlattenValues();
+  EXPECT_EQ(flat.size(), 16u);
+  std::vector<float> doubled = flat;
+  for (float& v : doubled) v *= 2.0f;
+  ASSERT_TRUE(store.LoadValues(doubled).ok());
+  EXPECT_FLOAT_EQ(store.Find("a")->value.data()[0], flat[0] * 2.0f);
+  EXPECT_FALSE(store.LoadValues({1.0f}).ok());  // wrong size
+}
+
+TEST(ParameterStoreTest, SaveLoadRoundTrip) {
+  util::Rng rng(5);
+  ParameterStore a;
+  a.CreateNormal("w", 4, 4, 1.0f, &rng);
+  util::BinaryWriter writer;
+  a.Save(&writer);
+
+  ParameterStore b;
+  b.Create("w", 4, 4);
+  util::BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(b.Load(&reader).ok());
+  EXPECT_EQ(a.FlattenValues(), b.FlattenValues());
+}
+
+TEST(ParameterStoreTest, LoadRejectsShapeMismatch) {
+  util::Rng rng(5);
+  ParameterStore a;
+  a.CreateNormal("w", 4, 4, 1.0f, &rng);
+  util::BinaryWriter writer;
+  a.Save(&writer);
+
+  ParameterStore b;
+  b.Create("w", 2, 2);
+  util::BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(b.Load(&reader).ok());
+}
+
+TEST(ParameterStoreTest, SparseGradTrackingMatchesDense) {
+  // A sparse-tracked table and a dense parameter must produce the same
+  // ZeroGrads / GradDot semantics.
+  util::Rng rng(7);
+  ParameterStore store;
+  Parameter* table = store.CreateEmbedding("t", 100, 4, 0.1f, &rng);
+
+  Graph g;
+  Var pooled = g.EmbeddingBagMean(table, {{3, 7}, {7, 50}});
+  Var loss = g.Sum(pooled);
+  store.ZeroGrads();
+  g.Backward(loss);
+
+  // Rows 3, 7, 50 touched; everything else zero.
+  EXPECT_EQ(table->touched_rows.size(), 3u);
+  std::vector<float> dense = store.FlattenGrads();
+  double dense_dot = 0.0;
+  for (float v : dense) dense_dot += static_cast<double>(v) * v;
+  EXPECT_NEAR(store.GradDot(dense), dense_dot, 1e-6);
+
+  store.ZeroGrads();
+  EXPECT_TRUE(table->touched_rows.empty());
+  for (float v : store.FlattenGrads()) EXPECT_EQ(v, 0.0f);
+}
+
+// ---- Gradient checks (finite differences) ----------------------------------
+
+// Builds loss(params) via `forward`, then checks d loss / d params against
+// central differences at a handful of coordinates.
+void CheckGradients(ParameterStore* store,
+                    const std::function<Var(Graph*)>& forward,
+                    double tol = 2e-2) {
+  Graph g;
+  Var loss = forward(&g);
+  ASSERT_EQ(g.value(loss).size(), 1u) << "loss must be scalar";
+  store->ZeroGrads();
+  g.Backward(loss);
+
+  util::Rng rng(99);
+  for (const auto& p : store->parameters()) {
+    for (int probe = 0; probe < 5; ++probe) {
+      const std::size_t i = rng.NextUint64(p->value.size());
+      const float eps = 1e-3f;
+      const float orig = p->value.data()[i];
+
+      p->value.data()[i] = orig + eps;
+      Graph gp;
+      const float up = gp.value(forward(&gp)).at(0, 0);
+      p->value.data()[i] = orig - eps;
+      Graph gm;
+      const float down = gm.value(forward(&gm)).at(0, 0);
+      p->value.data()[i] = orig;
+
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = p->grad.data()[i];
+      EXPECT_NEAR(analytic, numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "param " << p->name << " index " << i;
+    }
+  }
+}
+
+TEST(GradCheckTest, MatMulChain) {
+  util::Rng rng(1);
+  ParameterStore store;
+  Parameter* w = store.CreateXavier("w", 4, 3, &rng);
+  Parameter* b = store.CreateNormal("b", 1, 3, 0.5f, &rng);
+  Tensor x(2, 4);
+  for (float& v : x.data()) v = rng.NextFloat(-1, 1);
+  CheckGradients(&store, [&](Graph* g) {
+    Var input = g->Input(x);
+    Var h = g->AddBiasRow(g->MatMul(input, g->Param(w)), g->Param(b));
+    return g->Mean(g->Tanh(h));
+  });
+}
+
+TEST(GradCheckTest, MatMulBothSidesAreParams) {
+  util::Rng rng(2);
+  ParameterStore store;
+  Parameter* a = store.CreateNormal("a", 3, 4, 0.5f, &rng);
+  Parameter* b = store.CreateNormal("b", 4, 2, 0.5f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    return g->Mean(g->MatMul(g->Param(a), g->Param(b)));
+  });
+}
+
+TEST(GradCheckTest, MatMulTransposeB) {
+  util::Rng rng(3);
+  ParameterStore store;
+  Parameter* a = store.CreateNormal("a", 3, 4, 0.5f, &rng);
+  Parameter* b = store.CreateNormal("b", 5, 4, 0.5f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    return g->Mean(g->Tanh(g->MatMulTransposeB(g->Param(a), g->Param(b))));
+  });
+}
+
+TEST(GradCheckTest, EmbeddingBagMean) {
+  util::Rng rng(4);
+  ParameterStore store;
+  Parameter* table = store.CreateNormal("t", 10, 3, 0.5f, &rng);
+  std::vector<std::vector<std::uint32_t>> bags = {{0, 1, 1}, {5}, {}};
+  CheckGradients(&store, [&](Graph* g) {
+    return g->Mean(g->Tanh(g->EmbeddingBagMean(table, bags)));
+  });
+}
+
+TEST(GradCheckTest, ReluAndSigmoidAndScale) {
+  util::Rng rng(5);
+  ParameterStore store;
+  Parameter* w = store.CreateNormal("w", 2, 6, 0.8f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    Var x = g->Param(w);
+    return g->Mean(g->Sigmoid(g->Scale(g->Relu(x), 1.7f)));
+  });
+}
+
+TEST(GradCheckTest, AddSubMul) {
+  util::Rng rng(6);
+  ParameterStore store;
+  Parameter* a = store.CreateNormal("a", 2, 3, 0.5f, &rng);
+  Parameter* b = store.CreateNormal("b", 2, 3, 0.5f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    Var va = g->Param(a), vb = g->Param(b);
+    return g->Mean(g->Mul(g->Add(va, vb), g->Sub(va, vb)));
+  });
+}
+
+TEST(GradCheckTest, RowL2Normalize) {
+  util::Rng rng(7);
+  ParameterStore store;
+  Parameter* w = store.CreateNormal("w", 3, 4, 1.0f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    Var y = g->RowL2Normalize(g->Param(w));
+    // A non-symmetric readout so the Jacobian is exercised off-diagonal.
+    Tensor mask(3, 4);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask.data()[i] = static_cast<float>(i % 3) - 1.0f;
+    }
+    return g->Mean(g->Mul(y, g->Input(mask)));
+  });
+}
+
+TEST(GradCheckTest, ConcatColsAndRowsAndReshape) {
+  util::Rng rng(8);
+  ParameterStore store;
+  Parameter* a = store.CreateNormal("a", 2, 3, 0.5f, &rng);
+  Parameter* b = store.CreateNormal("b", 2, 2, 0.5f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    Var cat = g->ConcatCols(g->Param(a), g->Param(b));  // [2,5]
+    Var reshaped = g->Reshape(cat, 1, 10);
+    Var stacked = g->ConcatRows({reshaped, reshaped});  // [2,10]
+    return g->Mean(g->Tanh(stacked));
+  });
+}
+
+TEST(GradCheckTest, BroadcastRow) {
+  util::Rng rng(12);
+  ParameterStore store;
+  Parameter* w = store.CreateNormal("w", 1, 4, 0.5f, &rng);
+  Tensor mask(3, 4);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = static_cast<float>((i * 7) % 5) - 2.0f;
+  }
+  CheckGradients(&store, [&](Graph* g) {
+    Var rows = g->BroadcastRow(g->Param(w), 3);
+    return g->Mean(g->Mul(g->Tanh(rows), g->Input(mask)));
+  });
+}
+
+TEST(GradCheckTest, RowDot) {
+  util::Rng rng(9);
+  ParameterStore store;
+  Parameter* a = store.CreateNormal("a", 3, 4, 0.5f, &rng);
+  Parameter* b = store.CreateNormal("b", 3, 4, 0.5f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    return g->Mean(g->Tanh(g->RowDot(g->Param(a), g->Param(b))));
+  });
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropy) {
+  util::Rng rng(10);
+  ParameterStore store;
+  Parameter* logits = store.CreateNormal("l", 3, 5, 1.0f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    return g->Mean(g->SoftmaxCrossEntropy(g->Param(logits), {0, 3, 4}));
+  });
+}
+
+TEST(GradCheckTest, WeightedSumAndSum) {
+  util::Rng rng(11);
+  ParameterStore store;
+  Parameter* w = store.CreateNormal("w", 4, 1, 1.0f, &rng);
+  CheckGradients(&store, [&](Graph* g) {
+    Var wsum = g->WeightedSum(g->Param(w), {0.1f, 0.0f, 0.5f, 0.4f});
+    return wsum;
+  });
+  CheckGradients(&store, [&](Graph* g) {
+    return g->Sum(g->Tanh(g->Param(w)));
+  });
+}
+
+// ---- Forward values --------------------------------------------------------
+
+TEST(GraphTest, SoftmaxCrossEntropyValue) {
+  Graph g;
+  Tensor logits(1, 2);
+  logits.at(0, 0) = 0.0f;
+  logits.at(0, 1) = 0.0f;
+  Var loss = g.SoftmaxCrossEntropy(g.Input(logits), {0});
+  EXPECT_NEAR(g.value(loss).at(0, 0), std::log(2.0), 1e-6);
+}
+
+TEST(GraphTest, RowL2NormalizeUnitRows) {
+  Graph g;
+  Tensor x(2, 3);
+  x.at(0, 0) = 3.0f;
+  x.at(0, 1) = 4.0f;
+  x.at(1, 2) = -2.0f;
+  Var y = g.RowL2Normalize(g.Input(x));
+  EXPECT_NEAR(g.value(y).at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(g.value(y).at(0, 1), 0.8f, 1e-6);
+  EXPECT_NEAR(g.value(y).at(1, 2), -1.0f, 1e-6);
+}
+
+TEST(GraphTest, EmbeddingBagMeanEmptyBagIsZeroRow) {
+  util::Rng rng(1);
+  ParameterStore store;
+  Parameter* table = store.CreateNormal("t", 4, 2, 1.0f, &rng);
+  Graph g;
+  Var v = g.EmbeddingBagMean(table, {{}, {1}});
+  EXPECT_EQ(g.value(v).at(0, 0), 0.0f);
+  EXPECT_EQ(g.value(v).at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(g.value(v).at(1, 0), table->value.at(1, 0));
+}
+
+TEST(GraphTest, RepeatedBackwardAccumulatesIntoParams) {
+  util::Rng rng(2);
+  ParameterStore store;
+  Parameter* w = store.CreateNormal("w", 1, 2, 1.0f, &rng);
+  Graph g;
+  Var loss = g.Sum(g.Param(w));
+  store.ZeroGrads();
+  g.Backward(loss);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 1.0f);
+  // A second backward over the same tape without reset doubles node grads.
+  g.ResetGrads();
+  g.Backward(loss);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 2.0f);  // param grads accumulate
+  store.ZeroGrads();
+  g.ResetGrads();
+  g.Backward(loss);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 1.0f);
+}
+
+TEST(GraphTest, OneHotSeedGivesPerRowGradient) {
+  util::Rng rng(3);
+  ParameterStore store;
+  Parameter* table = store.CreateNormal("t", 6, 2, 1.0f, &rng);
+  Graph g;
+  Var pooled = g.EmbeddingBagMean(table, {{0}, {1}});
+  Var col = g.RowDot(pooled, pooled);  // [2,1]
+  // Backward only row 1: row 0's bag (id 0) must receive no gradient.
+  store.ZeroGrads();
+  g.ResetGrads();
+  g.BackwardWithSeed(col, {0.0f, 1.0f});
+  EXPECT_EQ(table->grad.at(0, 0), 0.0f);
+  EXPECT_NE(table->grad.at(1, 0), 0.0f);
+}
+
+// ---- Optimizers ------------------------------------------------------------
+
+TEST(OptimizerTest, SgdMinimizesQuadratic) {
+  ParameterStore store;
+  Parameter* w = store.Create("w", 1, 1);
+  w->value.at(0, 0) = 5.0f;
+  SgdOptimizer opt(0.1f);
+  for (int i = 0; i < 200; ++i) {
+    store.ZeroGrads();
+    w->grad.at(0, 0) = 2.0f * w->value.at(0, 0);  // d/dw w^2
+    opt.Step(&store);
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 0.0f, 1e-4);
+}
+
+TEST(OptimizerTest, SgdMomentumConverges) {
+  ParameterStore store;
+  Parameter* w = store.Create("w", 1, 1);
+  w->value.at(0, 0) = 5.0f;
+  SgdOptimizer opt(0.05f, /*momentum=*/0.9f);
+  for (int i = 0; i < 300; ++i) {
+    store.ZeroGrads();
+    w->grad.at(0, 0) = 2.0f * w->value.at(0, 0);
+    opt.Step(&store);
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 0.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamMinimizesQuadratic) {
+  ParameterStore store;
+  Parameter* w = store.Create("w", 1, 2);
+  w->value.at(0, 0) = 3.0f;
+  w->value.at(0, 1) = -4.0f;
+  AdamOptimizer opt(0.1f);
+  for (int i = 0; i < 500; ++i) {
+    store.ZeroGrads();
+    w->grad.at(0, 0) = 2.0f * w->value.at(0, 0);
+    w->grad.at(0, 1) = 2.0f * w->value.at(0, 1);
+    opt.Step(&store);
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 0.0f, 1e-3);
+  EXPECT_NEAR(w->value.at(0, 1), 0.0f, 1e-3);
+  EXPECT_EQ(opt.step_count(), 500);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  AdamOptimizer opt(0.1f);
+  opt.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5f);
+}
+
+TEST(OptimizerTest, LazyAdamOnlyUpdatesTouchedRows) {
+  util::Rng rng(4);
+  ParameterStore store;
+  Parameter* table = store.CreateEmbedding("t", 8, 2, 0.5f, &rng);
+  const float untouched_before = table->value.at(5, 0);
+  AdamOptimizer opt(0.1f);
+  store.ZeroGrads();
+  // Touch only row 2.
+  Graph g;
+  Var loss = g.Sum(g.EmbeddingBagMean(table, {{2}}));
+  g.Backward(loss);
+  const float touched_before = table->value.at(2, 0);
+  opt.Step(&store);
+  EXPECT_EQ(table->value.at(5, 0), untouched_before);
+  EXPECT_NE(table->value.at(2, 0), touched_before);
+}
+
+}  // namespace
+}  // namespace metablink::tensor

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/generator.h"
+#include "gen/bad_data.h"
+#include "train/bi_trainer.h"
+#include "train/cross_trainer.h"
+#include "train/dl4el_trainer.h"
+#include "train/meta_trainer.h"
+
+namespace metablink::train {
+namespace {
+
+model::BiEncoderConfig SmallBiConfig() {
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 1024;
+  cfg.dim = 16;
+  return cfg;
+}
+
+model::CrossEncoderConfig SmallCrossConfig() {
+  model::CrossEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 1024;
+  cfg.dim = 16;
+  cfg.hidden = 16;
+  return cfg;
+}
+
+class TrainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions opts;
+    opts.seed = 77;
+    opts.shared_vocab_size = 300;
+    opts.domain_vocab_size = 150;
+    data::ZeshelLikeGenerator gen(opts);
+    std::vector<data::DomainSpec> specs(1);
+    specs[0].name = "d";
+    specs[0].num_entities = 60;
+    specs[0].num_examples = 240;
+    specs[0].num_documents = 60;
+    corpus_ = std::make_unique<data::Corpus>(
+        std::move(*gen.Generate(specs)));
+  }
+
+  std::unique_ptr<data::Corpus> corpus_;
+};
+
+// ---- BiEncoderTrainer ------------------------------------------------------
+
+TEST_F(TrainTest, BiTrainerReducesLoss) {
+  util::Rng rng(1);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 16;
+  BiEncoderTrainer trainer(opts);
+  auto result = trainer.Train(&model, corpus_->kb, corpus_->ExamplesIn("d"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->epoch_losses.size(), 2u);
+  EXPECT_LT(result->epoch_losses.back(), result->epoch_losses.front());
+  EXPECT_GT(result->steps, 0u);
+}
+
+TEST_F(TrainTest, BiTrainerRejectsEmptyAndMisalignedWeights) {
+  util::Rng rng(1);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  BiEncoderTrainer trainer;
+  EXPECT_FALSE(trainer.Train(&model, corpus_->kb, {}).ok());
+  EXPECT_FALSE(trainer
+                   .Train(&model, corpus_->kb, corpus_->ExamplesIn("d"),
+                          {1.0f, 2.0f})
+                   .ok());
+}
+
+TEST_F(TrainTest, BiTrainerZeroWeightsLeaveModelUntouched) {
+  util::Rng rng(1);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  auto before = model.params()->FlattenValues();
+  std::vector<float> weights(corpus_->ExamplesIn("d").size(), 0.0f);
+  BiEncoderTrainer trainer;
+  ASSERT_TRUE(trainer
+                  .Train(&model, corpus_->kb, corpus_->ExamplesIn("d"),
+                         weights)
+                  .ok());
+  EXPECT_EQ(model.params()->FlattenValues(), before);
+}
+
+TEST_F(TrainTest, BiTrainerMaxStepsCap) {
+  util::Rng rng(1);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  TrainOptions opts;
+  opts.epochs = 100;
+  opts.max_steps = 3;
+  BiEncoderTrainer trainer(opts);
+  auto result = trainer.Train(&model, corpus_->kb, corpus_->ExamplesIn("d"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps, 3u);
+}
+
+// ---- MineCrossTrainingSet --------------------------------------------------
+
+TEST(MineCrossTest, KeepsGoldAndDropsMisses) {
+  std::vector<data::LinkingExample> examples(2);
+  examples[0].entity_id = 7;
+  examples[1].entity_id = 99;  // never retrieved
+  std::vector<std::vector<retrieval::ScoredEntity>> lists = {
+      {{3, 1.0f}, {7, 0.9f}, {5, 0.8f}},
+      {{3, 1.0f}, {5, 0.9f}},
+  };
+  auto mined = MineCrossTrainingSet(examples, lists, 8);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].candidates.size(), 3u);
+  EXPECT_EQ(mined[0].gold_index, 1u);
+  EXPECT_EQ(mined[0].candidates[1], 7u);
+}
+
+TEST(MineCrossTest, TruncationPreservesGold) {
+  std::vector<data::LinkingExample> examples(1);
+  examples[0].entity_id = 9;
+  std::vector<std::vector<retrieval::ScoredEntity>> lists = {
+      {{1, 1.0f}, {2, 0.9f}, {3, 0.8f}, {9, 0.7f}},
+  };
+  auto mined = MineCrossTrainingSet(examples, lists, 2);
+  ASSERT_EQ(mined.size(), 1u);
+  ASSERT_EQ(mined[0].candidates.size(), 2u);
+  EXPECT_EQ(mined[0].candidates[mined[0].gold_index], 9u);
+}
+
+// ---- CrossEncoderTrainer ---------------------------------------------------
+
+TEST_F(TrainTest, CrossTrainerReducesLoss) {
+  util::Rng rng(2);
+  model::CrossEncoder model(SmallCrossConfig(), &rng);
+  // Build instances: gold + 3 random negatives per example.
+  util::Rng neg_rng(3);
+  std::vector<CrossInstance> instances;
+  const auto& pool = corpus_->kb.EntitiesInDomain("d");
+  for (const auto& ex : corpus_->ExamplesIn("d")) {
+    CrossInstance inst;
+    inst.example = ex;
+    inst.candidates.push_back(ex.entity_id);
+    inst.gold_index = 0;
+    for (int i = 0; i < 3; ++i) {
+      inst.candidates.push_back(pool[neg_rng.NextUint64(pool.size())]);
+    }
+    instances.push_back(std::move(inst));
+    if (instances.size() >= 60) break;
+  }
+  TrainOptions opts;
+  opts.epochs = 3;
+  CrossEncoderTrainer trainer(opts);
+  auto result = trainer.Train(&model, corpus_->kb, instances);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->epoch_losses.back(), result->epoch_losses.front());
+}
+
+TEST_F(TrainTest, CrossTrainerRejectsEmpty) {
+  util::Rng rng(2);
+  model::CrossEncoder model(SmallCrossConfig(), &rng);
+  CrossEncoderTrainer trainer;
+  EXPECT_FALSE(trainer.Train(&model, corpus_->kb, {}).ok());
+}
+
+// ---- MetaReweightTrainer ---------------------------------------------------
+
+TEST_F(TrainTest, MetaStepWeightsNormalized) {
+  util::Rng rng(4);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  const kb::KnowledgeBase* kb = &corpus_->kb;
+  model::BiEncoder* m = &model;
+  MetaTrainOptions opts;
+  MetaReweightTrainer meta(opts, model.params(),
+                           [m, kb](tensor::Graph* g,
+                                   const std::vector<data::LinkingExample>&
+                                       batch) {
+                             return m->InBatchLoss(g, batch, *kb);
+                           });
+  const auto& examples = corpus_->ExamplesIn("d");
+  std::vector<data::LinkingExample> syn(examples.begin(),
+                                        examples.begin() + 12);
+  std::vector<data::LinkingExample> seed(examples.begin() + 12,
+                                         examples.begin() + 20);
+  auto weights = meta.Step(syn, seed);
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), 12u);
+  float total = std::accumulate(weights->begin(), weights->end(), 0.0f);
+  for (float w : *weights) EXPECT_GE(w, 0.0f);
+  EXPECT_TRUE(std::abs(total - 1.0f) < 1e-4 || total == 0.0f);
+  EXPECT_EQ(meta.result().steps, 1u);
+}
+
+TEST_F(TrainTest, MetaRejectsDegenerateInputs) {
+  util::Rng rng(4);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  MetaReweightTrainer meta(
+      MetaTrainOptions{}, model.params(),
+      [](tensor::Graph*, const std::vector<data::LinkingExample>&) {
+        return tensor::Var{};
+      });
+  const auto& examples = corpus_->ExamplesIn("d");
+  std::vector<data::LinkingExample> one(examples.begin(),
+                                        examples.begin() + 1);
+  std::vector<data::LinkingExample> some(examples.begin(),
+                                         examples.begin() + 4);
+  EXPECT_FALSE(meta.Step(one, some).ok());
+  EXPECT_FALSE(meta.Step(some, {}).ok());
+  EXPECT_FALSE(meta.Train(one, some).ok());
+  EXPECT_FALSE(meta.Train(some, {}).ok());
+}
+
+TEST_F(TrainTest, MetaDownweightsInjectedBadData) {
+  // The Fig. 4 property in miniature: after warming up on the trusted seed
+  // and meta-training on a mixture of gold-consistent and deliberately
+  // mislabeled synthetic data, the bad population must receive a lower
+  // selection ratio. Needs a roomy hash space: heavy collisions destroy
+  // the per-example gradient signal.
+  data::GeneratorOptions gopts;
+  gopts.seed = 77;
+  gopts.shared_vocab_size = 300;
+  gopts.domain_vocab_size = 150;
+  data::ZeshelLikeGenerator gen(gopts);
+  std::vector<data::DomainSpec> specs(1);
+  specs[0].name = "d";
+  specs[0].num_entities = 150;
+  specs[0].num_examples = 600;
+  auto corpus = gen.Generate(specs);
+  ASSERT_TRUE(corpus.ok());
+
+  model::BiEncoderConfig cfg;
+  cfg.features.hasher.num_buckets = 4096;
+  cfg.dim = 32;
+  util::Rng rng(5);
+  model::BiEncoder model(cfg, &rng);
+  const auto& examples = corpus->ExamplesIn("d");
+  std::vector<data::LinkingExample> good(examples.begin(),
+                                         examples.begin() + 400);
+  for (auto& g : good) g.source = data::ExampleSource::kRewritten;
+  std::vector<data::LinkingExample> seed(examples.begin() + 400,
+                                         examples.begin() + 450);
+  util::Rng bad_rng(6);
+  auto bad = gen::InjectBadData(corpus->kb, good, 200, &bad_rng);
+  std::vector<data::LinkingExample> synthetic = good;
+  synthetic.insert(synthetic.end(), bad.begin(), bad.end());
+
+  // Warm up on the trusted seed so gradients are informative.
+  TrainOptions warm;
+  warm.epochs = 4;
+  BiEncoderTrainer warm_trainer(warm);
+  ASSERT_TRUE(warm_trainer.Train(&model, corpus->kb, seed).ok());
+
+  const kb::KnowledgeBase* kb = &corpus->kb;
+  model::BiEncoder* m = &model;
+  MetaTrainOptions opts;
+  opts.steps = 120;
+  opts.batch_size = 16;
+  MetaReweightTrainer meta(opts, model.params(),
+                           [m, kb](tensor::Graph* g,
+                                   const std::vector<data::LinkingExample>&
+                                       batch) {
+                             return m->InBatchLoss(g, batch, *kb);
+                           });
+  auto result = meta.Train(synthetic, seed);
+  ASSERT_TRUE(result.ok());
+  const auto& sel = result->selection;
+  ASSERT_TRUE(sel.count(data::ExampleSource::kRewritten));
+  ASSERT_TRUE(sel.count(data::ExampleSource::kInjectedBad));
+  const double good_ratio =
+      sel.at(data::ExampleSource::kRewritten).SelectedRatio();
+  const double bad_ratio =
+      sel.at(data::ExampleSource::kInjectedBad).SelectedRatio();
+  EXPECT_GT(good_ratio, bad_ratio + 0.05)
+      << "good=" << good_ratio << " bad=" << bad_ratio;
+}
+
+// ---- Dl4elTrainer ----------------------------------------------------------
+
+TEST(Dl4elTest, SelectionWeightsSumToOneAndFavorLowLoss) {
+  Dl4elOptions opts;
+  opts.noise_ratio = 0.5;
+  opts.kl_mix = 0.2f;
+  Dl4elTrainer trainer(opts);
+  std::vector<float> losses = {0.1f, 5.0f, 0.2f, 4.0f};
+  auto w = trainer.SelectionWeights(losses);
+  ASSERT_EQ(w.size(), 4u);
+  float total = std::accumulate(w.begin(), w.end(), 0.0f);
+  EXPECT_NEAR(total, 1.0f, 1e-5);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[2], w[3]);
+}
+
+TEST(Dl4elTest, FullKlMixIsUniform) {
+  Dl4elOptions opts;
+  opts.kl_mix = 1.0f;
+  Dl4elTrainer trainer(opts);
+  auto w = trainer.SelectionWeights({1.0f, 2.0f, 3.0f, 4.0f});
+  for (float v : w) EXPECT_NEAR(v, 0.25f, 1e-5);
+}
+
+TEST(Dl4elTest, EmptyLossesHandled) {
+  Dl4elTrainer trainer;
+  EXPECT_TRUE(trainer.SelectionWeights({}).empty());
+}
+
+TEST_F(TrainTest, Dl4elTrainsEndToEnd) {
+  util::Rng rng(7);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  Dl4elOptions opts;
+  opts.train.epochs = 2;
+  Dl4elTrainer trainer(opts);
+  auto result = trainer.Train(&model, corpus_->kb, corpus_->ExamplesIn("d"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->steps, 0u);
+  EXPECT_FALSE(trainer.Train(&model, corpus_->kb, {}).ok());
+}
+
+// ---- parameterized: meta weight normalization ablation ----------------------
+
+class MetaNormalizationSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MetaNormalizationSweep, WeightsRespectMode) {
+  data::GeneratorOptions gopts;
+  gopts.seed = 9;
+  gopts.shared_vocab_size = 200;
+  gopts.domain_vocab_size = 100;
+  data::ZeshelLikeGenerator gen(gopts);
+  std::vector<data::DomainSpec> specs(1);
+  specs[0].name = "d";
+  specs[0].num_entities = 40;
+  specs[0].num_examples = 60;
+  auto corpus = gen.Generate(specs);
+  ASSERT_TRUE(corpus.ok());
+
+  util::Rng rng(10);
+  model::BiEncoder model(SmallBiConfig(), &rng);
+  MetaTrainOptions opts;
+  opts.normalize_weights = GetParam();
+  const kb::KnowledgeBase* kb = &corpus->kb;
+  model::BiEncoder* m = &model;
+  MetaReweightTrainer meta(opts, model.params(),
+                           [m, kb](tensor::Graph* g,
+                                   const std::vector<data::LinkingExample>&
+                                       batch) {
+                             return m->InBatchLoss(g, batch, *kb);
+                           });
+  const auto& ex = corpus->ExamplesIn("d");
+  std::vector<data::LinkingExample> syn(ex.begin(), ex.begin() + 10);
+  std::vector<data::LinkingExample> seed(ex.begin() + 10, ex.begin() + 18);
+  auto weights = meta.Step(syn, seed);
+  ASSERT_TRUE(weights.ok());
+  float total = std::accumulate(weights->begin(), weights->end(), 0.0f);
+  if (GetParam()) {
+    EXPECT_LE(total, 1.0f + 1e-4);
+  }
+  for (float w : *weights) EXPECT_GE(w, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MetaNormalizationSweep, ::testing::Bool());
+
+}  // namespace
+}  // namespace metablink::train
