@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_meta_selection.cpp" "bench/CMakeFiles/bench_fig4_meta_selection.dir/bench_fig4_meta_selection.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_meta_selection.dir/bench_fig4_meta_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/metablink_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/metablink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/metablink_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/metablink_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/metablink_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/metablink_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/metablink_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metablink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/metablink_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/metablink_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/metablink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metablink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_rewriting.dir/bench_table10_rewriting.cpp.o"
+  "CMakeFiles/bench_table10_rewriting.dir/bench_table10_rewriting.cpp.o.d"
+  "bench_table10_rewriting"
+  "bench_table10_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_rouge.dir/bench_table11_rouge.cpp.o"
+  "CMakeFiles/bench_table11_rouge.dir/bench_table11_rouge.cpp.o.d"
+  "bench_table11_rouge"
+  "bench_table11_rouge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_rouge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

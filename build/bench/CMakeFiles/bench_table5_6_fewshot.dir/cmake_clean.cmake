@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_6_fewshot.dir/bench_table5_6_fewshot.cpp.o"
+  "CMakeFiles/bench_table5_6_fewshot.dir/bench_table5_6_fewshot.cpp.o.d"
+  "bench_table5_6_fewshot"
+  "bench_table5_6_fewshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_6_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

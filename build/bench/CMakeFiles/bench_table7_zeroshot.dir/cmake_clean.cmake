@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_zeroshot.dir/bench_table7_zeroshot.cpp.o"
+  "CMakeFiles/bench_table7_zeroshot.dir/bench_table7_zeroshot.cpp.o.d"
+  "bench_table7_zeroshot"
+  "bench_table7_zeroshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_sources.dir/bench_table9_sources.cpp.o"
+  "CMakeFiles/bench_table9_sources.dir/bench_table9_sources.cpp.o.d"
+  "bench_table9_sources"
+  "bench_table9_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

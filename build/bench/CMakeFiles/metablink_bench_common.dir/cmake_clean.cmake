@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_bench_common.dir/experiment_common.cc.o"
+  "CMakeFiles/metablink_bench_common.dir/experiment_common.cc.o.d"
+  "libmetablink_bench_common.a"
+  "libmetablink_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

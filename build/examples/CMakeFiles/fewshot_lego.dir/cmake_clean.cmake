@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewshot_lego.dir/fewshot_lego.cpp.o"
+  "CMakeFiles/fewshot_lego.dir/fewshot_lego.cpp.o.d"
+  "fewshot_lego"
+  "fewshot_lego.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewshot_lego.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

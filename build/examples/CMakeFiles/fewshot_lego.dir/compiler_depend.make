@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fewshot_lego.
+# This may be replaced when dependencies are built.

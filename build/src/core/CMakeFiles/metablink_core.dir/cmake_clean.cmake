@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_core.dir/few_shot_linker.cc.o"
+  "CMakeFiles/metablink_core.dir/few_shot_linker.cc.o.d"
+  "CMakeFiles/metablink_core.dir/pipeline.cc.o"
+  "CMakeFiles/metablink_core.dir/pipeline.cc.o.d"
+  "libmetablink_core.a"
+  "libmetablink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_data.dir/example.cc.o"
+  "CMakeFiles/metablink_data.dir/example.cc.o.d"
+  "CMakeFiles/metablink_data.dir/generator.cc.o"
+  "CMakeFiles/metablink_data.dir/generator.cc.o.d"
+  "libmetablink_data.a"
+  "libmetablink_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

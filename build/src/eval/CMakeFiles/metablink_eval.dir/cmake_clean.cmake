@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_eval.dir/evaluator.cc.o"
+  "CMakeFiles/metablink_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/metablink_eval.dir/metrics.cc.o"
+  "CMakeFiles/metablink_eval.dir/metrics.cc.o.d"
+  "libmetablink_eval.a"
+  "libmetablink_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/bad_data.cc" "src/gen/CMakeFiles/metablink_gen.dir/bad_data.cc.o" "gcc" "src/gen/CMakeFiles/metablink_gen.dir/bad_data.cc.o.d"
+  "/root/repo/src/gen/exact_matcher.cc" "src/gen/CMakeFiles/metablink_gen.dir/exact_matcher.cc.o" "gcc" "src/gen/CMakeFiles/metablink_gen.dir/exact_matcher.cc.o.d"
+  "/root/repo/src/gen/rewriter.cc" "src/gen/CMakeFiles/metablink_gen.dir/rewriter.cc.o" "gcc" "src/gen/CMakeFiles/metablink_gen.dir/rewriter.cc.o.d"
+  "/root/repo/src/gen/seed_selector.cc" "src/gen/CMakeFiles/metablink_gen.dir/seed_selector.cc.o" "gcc" "src/gen/CMakeFiles/metablink_gen.dir/seed_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/metablink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/metablink_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/metablink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metablink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_gen.dir/bad_data.cc.o"
+  "CMakeFiles/metablink_gen.dir/bad_data.cc.o.d"
+  "CMakeFiles/metablink_gen.dir/exact_matcher.cc.o"
+  "CMakeFiles/metablink_gen.dir/exact_matcher.cc.o.d"
+  "CMakeFiles/metablink_gen.dir/rewriter.cc.o"
+  "CMakeFiles/metablink_gen.dir/rewriter.cc.o.d"
+  "CMakeFiles/metablink_gen.dir/seed_selector.cc.o"
+  "CMakeFiles/metablink_gen.dir/seed_selector.cc.o.d"
+  "libmetablink_gen.a"
+  "libmetablink_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/metablink_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/metablink_kb.dir/title_index.cc.o"
+  "CMakeFiles/metablink_kb.dir/title_index.cc.o.d"
+  "libmetablink_kb.a"
+  "libmetablink_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

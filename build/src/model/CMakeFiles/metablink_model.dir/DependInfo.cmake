@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bi_encoder.cc" "src/model/CMakeFiles/metablink_model.dir/bi_encoder.cc.o" "gcc" "src/model/CMakeFiles/metablink_model.dir/bi_encoder.cc.o.d"
+  "/root/repo/src/model/cross_encoder.cc" "src/model/CMakeFiles/metablink_model.dir/cross_encoder.cc.o" "gcc" "src/model/CMakeFiles/metablink_model.dir/cross_encoder.cc.o.d"
+  "/root/repo/src/model/features.cc" "src/model/CMakeFiles/metablink_model.dir/features.cc.o" "gcc" "src/model/CMakeFiles/metablink_model.dir/features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/metablink_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metablink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/metablink_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/metablink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metablink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

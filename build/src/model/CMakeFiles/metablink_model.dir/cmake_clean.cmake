@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_model.dir/bi_encoder.cc.o"
+  "CMakeFiles/metablink_model.dir/bi_encoder.cc.o.d"
+  "CMakeFiles/metablink_model.dir/cross_encoder.cc.o"
+  "CMakeFiles/metablink_model.dir/cross_encoder.cc.o.d"
+  "CMakeFiles/metablink_model.dir/features.cc.o"
+  "CMakeFiles/metablink_model.dir/features.cc.o.d"
+  "libmetablink_model.a"
+  "libmetablink_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/dense_index.cc" "src/retrieval/CMakeFiles/metablink_retrieval.dir/dense_index.cc.o" "gcc" "src/retrieval/CMakeFiles/metablink_retrieval.dir/dense_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/metablink_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/metablink_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metablink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/metablink_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_retrieval.dir/dense_index.cc.o"
+  "CMakeFiles/metablink_retrieval.dir/dense_index.cc.o.d"
+  "libmetablink_retrieval.a"
+  "libmetablink_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_tensor.dir/graph.cc.o"
+  "CMakeFiles/metablink_tensor.dir/graph.cc.o.d"
+  "CMakeFiles/metablink_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/metablink_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/metablink_tensor.dir/parameter.cc.o"
+  "CMakeFiles/metablink_tensor.dir/parameter.cc.o.d"
+  "CMakeFiles/metablink_tensor.dir/tensor.cc.o"
+  "CMakeFiles/metablink_tensor.dir/tensor.cc.o.d"
+  "libmetablink_tensor.a"
+  "libmetablink_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_text.dir/feature_hashing.cc.o"
+  "CMakeFiles/metablink_text.dir/feature_hashing.cc.o.d"
+  "CMakeFiles/metablink_text.dir/rouge.cc.o"
+  "CMakeFiles/metablink_text.dir/rouge.cc.o.d"
+  "CMakeFiles/metablink_text.dir/string_metrics.cc.o"
+  "CMakeFiles/metablink_text.dir/string_metrics.cc.o.d"
+  "CMakeFiles/metablink_text.dir/tfidf.cc.o"
+  "CMakeFiles/metablink_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/metablink_text.dir/tokenizer.cc.o"
+  "CMakeFiles/metablink_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/metablink_text.dir/vocabulary.cc.o"
+  "CMakeFiles/metablink_text.dir/vocabulary.cc.o.d"
+  "libmetablink_text.a"
+  "libmetablink_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

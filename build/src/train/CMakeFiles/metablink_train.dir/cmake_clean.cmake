@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_train.dir/bi_trainer.cc.o"
+  "CMakeFiles/metablink_train.dir/bi_trainer.cc.o.d"
+  "CMakeFiles/metablink_train.dir/cross_trainer.cc.o"
+  "CMakeFiles/metablink_train.dir/cross_trainer.cc.o.d"
+  "CMakeFiles/metablink_train.dir/dl4el_trainer.cc.o"
+  "CMakeFiles/metablink_train.dir/dl4el_trainer.cc.o.d"
+  "libmetablink_train.a"
+  "libmetablink_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

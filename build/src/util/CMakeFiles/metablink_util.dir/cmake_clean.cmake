@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metablink_util.dir/logging.cc.o"
+  "CMakeFiles/metablink_util.dir/logging.cc.o.d"
+  "CMakeFiles/metablink_util.dir/rng.cc.o"
+  "CMakeFiles/metablink_util.dir/rng.cc.o.d"
+  "CMakeFiles/metablink_util.dir/serialize.cc.o"
+  "CMakeFiles/metablink_util.dir/serialize.cc.o.d"
+  "CMakeFiles/metablink_util.dir/status.cc.o"
+  "CMakeFiles/metablink_util.dir/status.cc.o.d"
+  "CMakeFiles/metablink_util.dir/string_util.cc.o"
+  "CMakeFiles/metablink_util.dir/string_util.cc.o.d"
+  "CMakeFiles/metablink_util.dir/thread_pool.cc.o"
+  "CMakeFiles/metablink_util.dir/thread_pool.cc.o.d"
+  "libmetablink_util.a"
+  "libmetablink_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metablink_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

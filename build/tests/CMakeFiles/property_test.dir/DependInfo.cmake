@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metablink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/metablink_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/metablink_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/metablink_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/metablink_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/metablink_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metablink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/metablink_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/metablink_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/metablink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metablink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
