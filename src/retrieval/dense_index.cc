@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.h"
 #include "util/string_util.h"
 
 namespace metablink::retrieval {
+
+namespace {
+
+// Strict total order on hits: higher score first, ascending id on ties.
+// With distinct ids this is a total order, so heap selection and the old
+// full partial_sort pick exactly the same k hits in the same order.
+bool Better(const ScoredEntity& a, const ScoredEntity& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// Entities scored per tile; 512 rows of a 128-dim float matrix is 256 KiB,
+// sized to stay L2-resident while a query block streams over it.
+constexpr std::size_t kEntityBlock = 512;
+// Queries per tile in BatchTopK.
+constexpr std::size_t kQueryBlock = 8;
+
+}  // namespace
 
 util::Status DenseIndex::Build(tensor::Tensor embeddings,
                                std::vector<kb::EntityId> ids) {
@@ -21,35 +40,110 @@ util::Status DenseIndex::Build(tensor::Tensor embeddings,
   return util::Status::OK();
 }
 
+void DenseIndex::OfferBlock(const float* scores, std::size_t e_begin,
+                            std::size_t count, std::size_t k,
+                            TopKScratch* scratch) const {
+  // Bounded min-heap under Better: the root is the worst retained hit, so
+  // a candidate only costs O(log k) when it actually displaces something.
+  std::vector<ScoredEntity>& heap = scratch->heap;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ScoredEntity cand{ids_[e_begin + i], scores[i]};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), Better);
+    } else if (Better(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), Better);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), Better);
+    }
+  }
+}
+
+void DenseIndex::DrainHeap(TopKScratch* scratch,
+                           std::vector<ScoredEntity>* out) {
+  std::sort_heap(scratch->heap.begin(), scratch->heap.end(), Better);
+  out->assign(scratch->heap.begin(), scratch->heap.end());
+  scratch->heap.clear();
+}
+
+void DenseIndex::TopKInto(const float* query, std::size_t k,
+                          TopKScratch* scratch,
+                          std::vector<ScoredEntity>* out) const {
+  out->clear();
+  k = std::min(k, ids_.size());
+  if (k == 0) return;
+  scratch->heap.clear();
+  const std::size_t d = embeddings_.cols();
+  const std::size_t total = ids_.size();
+  scratch->scores.resize(std::min(kEntityBlock, total));
+  for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
+    const std::size_t count = std::min(kEntityBlock, total - e0);
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch->scores[i] =
+          tensor::Dot(query, embeddings_.row_data(e0 + i), d);
+    }
+    OfferBlock(scratch->scores.data(), e0, count, k, scratch);
+  }
+  DrainHeap(scratch, out);
+}
+
 std::vector<ScoredEntity> DenseIndex::TopK(const float* query,
                                            std::size_t k) const {
-  k = std::min(k, ids_.size());
-  // Max-heap-free selection: keep a sorted partial list via nth_element on
-  // the full score array (n is modest; exactness matters more than speed).
-  std::vector<ScoredEntity> scored(ids_.size());
-  const std::size_t d = embeddings_.cols();
-  for (std::size_t i = 0; i < ids_.size(); ++i) {
-    scored[i].id = ids_[i];
-    scored[i].score = tensor::Dot(query, embeddings_.row_data(i), d);
-  }
-  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
-                    [](const ScoredEntity& a, const ScoredEntity& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.id < b.id;  // deterministic tie-break
-                    });
-  scored.resize(k);
-  return scored;
+  TopKScratch scratch;
+  std::vector<ScoredEntity> out;
+  TopKInto(query, k, &scratch, &out);
+  return out;
 }
 
 std::vector<std::vector<ScoredEntity>> DenseIndex::BatchTopK(
     const tensor::Tensor& queries, std::size_t k,
     util::ThreadPool* pool) const {
-  std::vector<std::vector<ScoredEntity>> out(queries.rows());
-  auto run = [&](std::size_t i) { out[i] = TopK(queries.row_data(i), k); };
-  if (pool != nullptr) {
-    pool->ParallelFor(queries.rows(), run);
+  const std::size_t nq = queries.rows();
+  std::vector<std::vector<ScoredEntity>> out(nq);
+  if (nq == 0) return out;
+  const std::size_t d = embeddings_.cols();
+  const std::size_t total = ids_.size();
+  const std::size_t kk = std::min(k, total);
+  const std::size_t nblocks = (nq + kQueryBlock - 1) / kQueryBlock;
+
+  // One query×entity score tile per block, computed as a small transposed
+  // GEMM so each entity panel is read once per query block instead of once
+  // per query.
+  auto process_block = [&](std::size_t q0, std::vector<TopKScratch>& scr,
+                           std::vector<float>& tile) {
+    const std::size_t qn = std::min(kQueryBlock, nq - q0);
+    for (std::size_t qi = 0; qi < qn; ++qi) scr[qi].heap.clear();
+    for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
+      const std::size_t en = std::min(kEntityBlock, total - e0);
+      tile.assign(qn * en, 0.0f);
+      tensor::GemmTransposeBRaw(queries.row_data(q0),
+                                embeddings_.row_data(e0), tile.data(), qn,
+                                d, en);
+      for (std::size_t qi = 0; qi < qn; ++qi) {
+        OfferBlock(tile.data() + qi * en, e0, en, kk, &scr[qi]);
+      }
+    }
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      DrainHeap(&scr[qi], &out[q0 + qi]);
+    }
+  };
+
+  if (pool != nullptr && nblocks >= 2) {
+    pool->ParallelForChunks(
+        nblocks, 0,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          std::vector<TopKScratch> scr(kQueryBlock);
+          std::vector<float> tile;
+          for (std::size_t b = begin; b < end; ++b) {
+            process_block(b * kQueryBlock, scr, tile);
+          }
+        });
   } else {
-    for (std::size_t i = 0; i < queries.rows(); ++i) run(i);
+    std::vector<TopKScratch> scr(kQueryBlock);
+    std::vector<float> tile;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      process_block(b * kQueryBlock, scr, tile);
+    }
   }
   return out;
 }

@@ -1,0 +1,106 @@
+#ifndef METABLINK_TENSOR_GRAD_WORKSPACE_H_
+#define METABLINK_TENSOR_GRAD_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/parameter.h"
+#include "tensor/tensor.h"
+
+namespace metablink::tensor {
+
+class Graph;
+struct Var;
+
+/// Holds the node gradients for one backward traversal of a Graph.
+///
+/// Moving gradients out of the tape itself means several backward passes
+/// (with different seeds) can run concurrently over one shared, read-only
+/// Graph — each pass brings its own workspace. Two modes:
+///
+///  * Direct mode (default constructor): parameter gradients go to
+///    Parameter::grad / Parameter::TouchRow, exactly like the classic
+///    single-threaded flow. Every Graph owns one direct-mode workspace
+///    backing Graph::Backward / Graph::grad.
+///  * Scratch mode (constructed with a GradScratch*): parameter gradients
+///    go to the per-thread GradScratch, leaving Parameter::grad untouched.
+///    This is what the meta trainer's parallel per-example passes use.
+///
+/// Node-gradient buffers allocate lazily on first write and are recycled by
+/// Reset() (which zeroes only the buffers dirtied since the previous
+/// Reset). The dirty flags double as the sparsity filter for
+/// Graph::BackwardWithSeed: a node whose gradient was never written has an
+/// exactly-zero gradient, so its backward closure can be skipped without
+/// changing any result.
+class GradWorkspace {
+ public:
+  /// Direct mode: parameter gradients accumulate into Parameter::grad.
+  GradWorkspace() = default;
+
+  /// Scratch mode: parameter gradients accumulate into `scratch`
+  /// (not owned; must outlive the workspace).
+  explicit GradWorkspace(GradScratch* scratch) : scratch_(scratch) {}
+
+  GradWorkspace(const GradWorkspace&) = delete;
+  GradWorkspace& operator=(const GradWorkspace&) = delete;
+
+  /// Read-only gradient of node `v` (zeros if never written).
+  const Tensor& grad(const Graph& g, Var v);
+
+  /// Mutable gradient of node `v`; marks it dirty. Closures must only call
+  /// this for inputs that actually receive a non-zero contribution, so the
+  /// dirty set stays minimal under sparse (one-hot) seeds.
+  Tensor& GradForWrite(const Graph& g, Var v);
+
+  /// True when `v`'s gradient has been written since the last Reset.
+  bool dirty(Var v) const;
+
+  /// Destination for a parameter gradient (Parameter::grad in direct mode,
+  /// the scratch buffer in scratch mode).
+  Tensor& ParamGrad(Parameter* p);
+
+  /// Row-sparse bookkeeping for `p` routed per mode. Not thread-safe;
+  /// parallel op implementations must touch rows from a single thread.
+  void TouchParamRow(Parameter* p, std::uint32_t row);
+
+  /// When true (default), BackwardWithSeed skips closures of nodes whose
+  /// gradient was never written. Turning it off forces the classic
+  /// visit-every-node traversal (benchmark baseline / debugging).
+  void set_sparsity_skip(bool on) { sparsity_skip_ = on; }
+  bool sparsity_skip() const { return sparsity_skip_; }
+
+  /// Zeroes every node gradient dirtied since the last Reset and, in
+  /// scratch mode, resets the scratch parameter gradients too.
+  void Reset();
+
+ private:
+  void EnsureSize(std::size_t n);
+
+  GradScratch* scratch_ = nullptr;  // null ⇒ direct mode
+  std::vector<Tensor> grads_;       // indexed by node id, lazily shaped
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::int32_t> dirty_list_;
+  bool sparsity_skip_ = true;
+};
+
+/// Tangent buffers for one forward-mode (JVP) sweep over a Graph; see
+/// Graph::Jvp. Single-use: construct, sweep, read the root tangent.
+class JvpWorkspace {
+ public:
+  JvpWorkspace() = default;
+  JvpWorkspace(const JvpWorkspace&) = delete;
+  JvpWorkspace& operator=(const JvpWorkspace&) = delete;
+
+  /// Read-only tangent of node `v` (zeros if never written).
+  const Tensor& tangent(const Graph& g, Var v);
+
+  /// Mutable tangent of node `v` (lazily allocated zeros).
+  Tensor& TangentForWrite(const Graph& g, Var v);
+
+ private:
+  std::vector<Tensor> tangents_;  // indexed by node id
+};
+
+}  // namespace metablink::tensor
+
+#endif  // METABLINK_TENSOR_GRAD_WORKSPACE_H_

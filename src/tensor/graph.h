@@ -5,8 +5,13 @@
 #include <functional>
 #include <vector>
 
+#include "tensor/grad_workspace.h"
 #include "tensor/parameter.h"
 #include "tensor/tensor.h"
+
+namespace metablink::util {
+class ThreadPool;
+}  // namespace metablink::util
 
 namespace metablink::tensor {
 
@@ -29,13 +34,30 @@ struct Var {
 ///   g.Backward(loss);         // fills Parameter::grad
 ///   optimizer.Step(&store);
 ///
+/// Node gradients live in a GradWorkspace, not on the tape: after the
+/// forward pass the tape is read-only, so independent backward passes with
+/// different seeds can run concurrently, each with its own workspace (see
+/// BackwardWithSeed below). Backward()/grad() use the graph's built-in
+/// direct-mode workspace and behave exactly like the classic flow.
+///
+/// Heavy ops (MatMul, MatMulTransposeB, EmbeddingBagMean, RowL2Normalize)
+/// split their work across a util::ThreadPool when one is attached via
+/// SetPool. The default (`pool == nullptr`) is fully serial and the
+/// parallel paths partition output rows, so both produce identical results.
+///
 /// The per-example meta-gradient computation (Algorithm 1) re-runs Backward
-/// with one-hot row seeds over the same tape; see train::MetaReweightTrainer.
+/// with one-hot row seeds over the same tape, or uses the forward-mode
+/// Jvp() fast path; see train::MetaReweightTrainer.
 class Graph {
  public:
   Graph() = default;
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
+
+  /// Attaches a thread pool used to parallelize large ops (forward and
+  /// backward). Not owned; nullptr (the default) means serial execution.
+  void SetPool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* pool() const { return pool_; }
 
   // ---- Leaves -----------------------------------------------------------
 
@@ -112,6 +134,9 @@ class Graph {
   // ---- Execution ---------------------------------------------------------
 
   const Tensor& value(Var v) const;
+
+  /// Gradient of `v` in the graph's built-in workspace (zeros before any
+  /// Backward call).
   const Tensor& grad(Var v) const;
 
   /// Runs backward from `v`, seeding every element of v's gradient with 1.
@@ -119,6 +144,23 @@ class Graph {
 
   /// Runs backward from `v` with an explicit seed (same size as v's value).
   void BackwardWithSeed(Var v, const std::vector<float>& seed);
+
+  /// Backward into a caller-provided workspace. The tape itself is not
+  /// mutated, so concurrent calls with DISTINCT workspaces (scratch mode,
+  /// so parameter gradients do not collide either) are safe. When
+  /// ws->sparsity_skip() is set (the default), nodes whose gradient was
+  /// never written are skipped — their closures would only add exact
+  /// zeros.
+  void BackwardWithSeed(Var v, const std::vector<float>& seed,
+                        GradWorkspace* ws) const;
+
+  /// Forward-mode sweep: returns the directional derivative (tangent) of
+  /// `v` along the parameter direction currently held in Parameter::grad
+  /// (inputs have zero tangent). One sweep costs about one forward pass
+  /// and yields d/dε value(v)(φ + ε·dir) for every element of v at once —
+  /// this is the meta trainer's fast path for raw[j] = ⟨∇_φ l_j, g_meta⟩,
+  /// replacing n one-hot backward passes.
+  Tensor Jvp(Var v) const;
 
   /// Zeroes all node gradients so Backward can run again over the same tape
   /// (Parameter::grad is managed separately via ParameterStore::ZeroGrads).
@@ -129,18 +171,25 @@ class Graph {
  private:
   struct Node {
     Tensor value;
-    Tensor grad;
-    // Propagates this node's grad to its inputs; empty for leaves.
-    std::function<void(Graph*)> backward;
+    // Propagates this node's workspace grad to its inputs; empty for
+    // leaves. Must not mutate the Graph (tape is shared across passes).
+    std::function<void(const Graph*, GradWorkspace*)> backward;
+    // Computes this node's tangent from its inputs' tangents; empty for
+    // zero-tangent leaves (Input).
+    std::function<void(const Graph*, JvpWorkspace*)> jvp;
   };
 
-  Var AddNode(Tensor value, std::function<void(Graph*)> backward);
+  Var AddNode(Tensor value);
   Node& node(Var v) { return nodes_[static_cast<std::size_t>(v.id)]; }
   const Node& node(Var v) const {
     return nodes_[static_cast<std::size_t>(v.id)];
   }
 
   std::vector<Node> nodes_;
+  util::ThreadPool* pool_ = nullptr;
+  // Backs the two-argument Backward/BackwardWithSeed and grad(); mutable
+  // because reading grad() lazily allocates zero buffers.
+  mutable GradWorkspace default_ws_;
 };
 
 }  // namespace metablink::tensor

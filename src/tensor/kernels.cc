@@ -1,0 +1,134 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace metablink::tensor {
+
+namespace {
+
+// Panel heights chosen so one panel of a 128-wide float matrix fits in L1
+// alongside the output row being accumulated.
+constexpr std::size_t kPanelK = 64;  // B rows per panel in GemmRaw.
+constexpr std::size_t kPanelM = 64;  // B rows per panel in GemmTransposeBRaw.
+
+bool AllZero(const float* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] != 0.0f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void GemmRaw(const float* a, const float* b, float* c, std::size_t n,
+             std::size_t k, std::size_t m) {
+  // Panel over the reduction dimension so the B panel is reused across all
+  // n output rows before it leaves cache. Within a row, p stays ascending
+  // (pb blocks ascend, p ascends inside a block), so every output element
+  // sees contributions in the same order as the unblocked loop.
+  for (std::size_t pb = 0; pb < k; pb += kPanelK) {
+    const std::size_t pe = std::min(k, pb + kPanelK);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      for (std::size_t p = pb; p < pe; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        Axpy(av, b + p * m, crow, m);
+      }
+    }
+  }
+}
+
+void GemmTransposeBRaw(const float* a, const float* b, float* c,
+                       std::size_t n, std::size_t d, std::size_t m) {
+  for (std::size_t jb = 0; jb < m; jb += kPanelM) {
+    const std::size_t je = std::min(m, jb + kPanelM);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* arow = a + i * d;
+      if (AllZero(arow, d)) continue;
+      float* crow = c + i * m;
+      for (std::size_t j = jb; j < je; ++j) {
+        crow[j] += Dot(arow, b + j * d, d);
+      }
+    }
+  }
+}
+
+void GemmTransposeARaw(const float* a, const float* b, float* c,
+                       std::size_t n, std::size_t k, std::size_t m,
+                       std::size_t k_begin, std::size_t k_end) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * m;
+    if (AllZero(brow, m)) continue;
+    for (std::size_t p = k_begin; p < k_end; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      Axpy(av, brow, c + p * m, m);
+    }
+  }
+}
+
+void Gemm(const Tensor& a, const Tensor& b, Tensor* out,
+          util::ThreadPool* pool) {
+  METABLINK_CHECK(a.cols() == b.rows()) << "Gemm shape mismatch";
+  METABLINK_CHECK(out->rows() == a.rows() && out->cols() == b.cols())
+      << "Gemm output shape mismatch";
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  if (pool == nullptr || n < 2) {
+    GemmRaw(a.data().data(), b.data().data(), out->data().data(), n, k, m);
+    return;
+  }
+  pool->ParallelForChunks(
+      n, 0, [&a, &b, out, k, m](std::size_t, std::size_t begin,
+                                std::size_t end) {
+        GemmRaw(a.row_data(begin), b.data().data(), out->row_data(begin),
+                end - begin, k, m);
+      });
+}
+
+void GemmTransposeB(const Tensor& a, const Tensor& b, Tensor* out,
+                    util::ThreadPool* pool) {
+  METABLINK_CHECK(a.cols() == b.cols()) << "GemmTransposeB shape mismatch";
+  METABLINK_CHECK(out->rows() == a.rows() && out->cols() == b.rows())
+      << "GemmTransposeB output shape mismatch";
+  const std::size_t n = a.rows(), d = a.cols(), m = b.rows();
+  if (pool == nullptr || n < 2) {
+    GemmTransposeBRaw(a.data().data(), b.data().data(), out->data().data(),
+                      n, d, m);
+    return;
+  }
+  pool->ParallelForChunks(
+      n, 0, [&a, &b, out, d, m](std::size_t, std::size_t begin,
+                                std::size_t end) {
+        GemmTransposeBRaw(a.row_data(begin), b.data().data(),
+                          out->row_data(begin), end - begin, d, m);
+      });
+}
+
+void GemmTransposeA(const Tensor& a, const Tensor& b, Tensor* out,
+                    util::ThreadPool* pool) {
+  METABLINK_CHECK(a.rows() == b.rows()) << "GemmTransposeA shape mismatch";
+  METABLINK_CHECK(out->rows() == a.cols() && out->cols() == b.cols())
+      << "GemmTransposeA output shape mismatch";
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  if (pool == nullptr || k < 2) {
+    GemmTransposeARaw(a.data().data(), b.data().data(), out->data().data(),
+                      n, k, m, 0, k);
+    return;
+  }
+  // Workers own disjoint [k_begin, k_end) output-row ranges; each element
+  // still accumulates in ascending i order, so this matches serial exactly.
+  pool->ParallelForChunks(
+      k, 0, [&a, &b, out, n, k, m](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+        GemmTransposeARaw(a.data().data(), b.data().data(),
+                          out->data().data(), n, k, m, begin, end);
+      });
+}
+
+}  // namespace metablink::tensor

@@ -1,0 +1,63 @@
+#ifndef METABLINK_TENSOR_KERNELS_H_
+#define METABLINK_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace metablink::util {
+class ThreadPool;
+}  // namespace metablink::util
+
+namespace metablink::tensor {
+
+/// Cache-blocked matrix kernels shared by the Graph ops, the retrieval
+/// index, and the benchmarks. All kernels ACCUMULATE into C (callers that
+/// want assignment zero C first), and all preserve the per-element
+/// accumulation order of the original scalar loops in graph.cc: for a fixed
+/// output element, contributions are added in ascending reduction index.
+/// That makes the blocked/parallel versions bit-identical to the seed
+/// implementation (parallel splits only distribute disjoint output rows).
+///
+/// Zero-skip rules: adding `0.0f * x` elementwise is elided. Under IEEE-754
+/// this is exact — `y + (+0)` returns y unchanged, and a float accumulator
+/// cannot flip sign by skipping an addition of +0.
+
+/// C[n,m] += A[n,k] * B[k,m]. Raw row-major pointers; `a` may be a row
+/// slice of a larger matrix as long as its stride is `k`.
+/// Skips zero elements of A (sparse one-hot gradients make this common).
+void GemmRaw(const float* a, const float* b, float* c, std::size_t n,
+             std::size_t k, std::size_t m);
+
+/// C[n,m] += A[n,d] * B[m,d]^T. Each output element is one Dot; B rows are
+/// tiled so a panel stays cache-resident across consecutive A rows.
+void GemmTransposeBRaw(const float* a, const float* b, float* c,
+                       std::size_t n, std::size_t d, std::size_t m);
+
+/// C[k,m] += A[n,k]^T * B[n,m], restricted to output rows
+/// [k_begin, k_end). The range split lets callers parallelize over
+/// disjoint output rows while every element still accumulates its
+/// contributions in ascending i order. Skips zero A elements and all-zero
+/// B rows.
+void GemmTransposeARaw(const float* a, const float* b, float* c,
+                       std::size_t n, std::size_t k, std::size_t m,
+                       std::size_t k_begin, std::size_t k_end);
+
+/// out += a * b, splitting output rows across `pool` (nullptr ⇒ serial).
+/// Shapes: a [n,k], b [k,m], out [n,m].
+void Gemm(const Tensor& a, const Tensor& b, Tensor* out,
+          util::ThreadPool* pool);
+
+/// out += a * b^T, splitting output rows across `pool` (nullptr ⇒ serial).
+/// Shapes: a [n,d], b [m,d], out [n,m].
+void GemmTransposeB(const Tensor& a, const Tensor& b, Tensor* out,
+                    util::ThreadPool* pool);
+
+/// out += a^T * b, splitting output rows (columns of a) across `pool`
+/// (nullptr ⇒ serial). Shapes: a [n,k], b [n,m], out [k,m].
+void GemmTransposeA(const Tensor& a, const Tensor& b, Tensor* out,
+                    util::ThreadPool* pool);
+
+}  // namespace metablink::tensor
+
+#endif  // METABLINK_TENSOR_KERNELS_H_

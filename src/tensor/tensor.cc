@@ -33,15 +33,35 @@ std::vector<float> Tensor::Row(std::size_t r) const {
 }
 
 float Dot(const float* a, const float* b, std::size_t n) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(a[i]) * b[i];
+  // Four independent accumulator chains so the FMAs pipeline instead of
+  // serializing on one register; double accumulation keeps the result
+  // within one double ulp of the sequential sum, so the rounded float is
+  // stable across the unrolled and remainder paths.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(a[i]) * b[i];
+    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
   }
-  return static_cast<float>(acc);
+  for (; i < n; ++i) acc0 += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>((acc0 + acc1) + (acc2 + acc3));
 }
 
 void Axpy(float alpha, const float* x, float* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+    y[i + 4] += alpha * x[i + 4];
+    y[i + 5] += alpha * x[i + 5];
+    y[i + 6] += alpha * x[i + 6];
+    y[i + 7] += alpha * x[i + 7];
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
 }  // namespace metablink::tensor

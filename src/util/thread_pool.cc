@@ -1,8 +1,15 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace metablink::util {
+
+namespace {
+// Set for the lifetime of WorkerLoop; lets ParallelFor detect that it is
+// being called from inside one of its own pool's workers.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -23,6 +30,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::OnWorkerThread() const { return t_worker_pool == this; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -39,27 +48,61 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  // Fine-grained chunking (4 per worker) evens out ragged per-item costs.
+  ParallelForChunks(n, workers_.size() * 4,
+                    [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+std::size_t ThreadPool::ParallelForChunks(
+    std::size_t n, std::size_t max_chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return 0;
+  if (max_chunks == 0) max_chunks = workers_.size();
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, max_chunks));
+  if (chunks <= 1 || OnWorkerThread()) {
+    fn(0, 0, n);
+    return 1;
+  }
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  // Each call waits on its own completion counter rather than the pool-wide
+  // in_flight_ count, so unrelated Submit() traffic cannot wake it early or
+  // make it wait longer than its own chunks.
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  };
+  auto done = std::make_shared<Completion>();
+  std::size_t used = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
+    if (c * chunk_size >= n) break;
+    ++used;
+  }
+  done->remaining = used;
+  for (std::size_t c = 0; c < used; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    Submit([c, begin, end, &fn, done] {
+      fn(c, begin, end);
+      std::unique_lock<std::mutex> lock(done->mu);
+      if (--done->remaining == 0) done->cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(done->mu);
+  done->cv.wait(lock, [&done] { return done->remaining == 0; });
+  return used;
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
+      if (stop_ && tasks_.empty()) break;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -70,6 +113,7 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) done_cv_.notify_all();
     }
   }
+  t_worker_pool = nullptr;
 }
 
 }  // namespace metablink::util

@@ -11,8 +11,8 @@
 
 namespace metablink::util {
 
-/// Fixed-size worker pool. Used by retrieval and batched encoding to
-/// parallelize embarrassingly-parallel loops on CPU.
+/// Fixed-size worker pool. Used by retrieval, batched encoding, and the
+/// tensor kernels to parallelize embarrassingly-parallel loops on CPU.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (0 means hardware concurrency).
@@ -30,9 +30,25 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's own workers.
+  bool OnWorkerThread() const;
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Work is chunked to limit queue overhead.
+  /// Work is chunked to limit queue overhead. Calling this from one of the
+  /// pool's own workers (nested parallelism) degrades to a plain serial
+  /// loop instead of deadlocking: the blocked worker would otherwise occupy
+  /// the very slot its subtasks need.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Partitions [0, n) into at most `max_chunks` contiguous ranges
+  /// (0 means one per worker) and runs fn(chunk, begin, end) for each
+  /// across the pool, waiting for completion. Chunk ids are dense in
+  /// [0, chunks), so callers can key per-thread scratch buffers by chunk.
+  /// Returns the number of chunks used. Degrades to a single serial chunk
+  /// when called from one of the pool's own workers (see ParallelFor).
+  std::size_t ParallelForChunks(
+      std::size_t n, std::size_t max_chunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
  private:
   void WorkerLoop();
