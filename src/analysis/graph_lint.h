@@ -1,0 +1,101 @@
+#ifndef METABLINK_ANALYSIS_GRAPH_LINT_H_
+#define METABLINK_ANALYSIS_GRAPH_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/graph.h"
+
+namespace metablink::analysis {
+
+/// Finding severities, in increasing order. A report with no kError
+/// findings is "clean"; trainers assert that on their first step.
+enum class Severity : std::uint8_t {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+/// The defect classes GraphLint detects. Each class has a seeded-defect
+/// fixture in tests/analysis_test.cc proving it fires.
+enum class LintClass : std::uint8_t {
+  /// Malformed tape: bad root, out-of-range / forward / self input edges,
+  /// ids that disagree with tape order, wrong input arity for the op.
+  kTapeStructure,
+  /// An op's recorded output shape (or an input constraint) contradicts
+  /// the shapes of its inputs — e.g. MatMul inner dimensions differ.
+  kShapeMismatch,
+  /// A non-parameter node unreachable from the loss root: dead code or a
+  /// detached subgraph whose values are computed but never used.
+  kDeadNode,
+  /// A Parameter-reading node (Param / EmbeddingBagMean) with no gradient
+  /// path from the loss root — the classic "frozen by accident" bug.
+  kFrozenParameter,
+  /// Tape / backward-workspace memory accounting; becomes a warning when
+  /// GraphLintOptions::memory_budget_bytes is set and exceeded.
+  kMemoryBudget,
+  /// A node value containing NaN or Inf (opt-in scan).
+  kNonFinite,
+};
+
+const char* SeverityName(Severity severity);
+const char* LintClassName(LintClass lint_class);
+
+/// One structured finding; tests pin exact (class, severity, node) triples.
+struct LintFinding {
+  Severity severity = Severity::kInfo;
+  LintClass lint_class = LintClass::kTapeStructure;
+  /// Offending node id, or -1 for tape-wide findings.
+  std::int32_t node = -1;
+  /// Op name of the offending node ("MatMul", ...), empty for tape-wide.
+  std::string op;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct GraphLintOptions {
+  /// Scan node values for NaN/Inf (kNonFinite errors). Off by default:
+  /// it touches every activation, the only lint pass that is O(elements)
+  /// rather than O(nodes).
+  bool scan_non_finite = false;
+  /// When non-zero, exceeding this many bytes of tape activations raises a
+  /// kMemoryBudget warning (a kInfo accounting finding is always emitted).
+  std::size_t memory_budget_bytes = 0;
+};
+
+/// Aggregated lint result.
+struct LintReport {
+  std::vector<LintFinding> findings;
+  std::size_t num_nodes = 0;
+  /// Bytes held by tape activations. A full (non-sparse) backward
+  /// workspace mirrors every node gradient, so it can add up to this much
+  /// again.
+  std::size_t tape_bytes = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+
+  /// True when no error-severity finding was raised.
+  bool ok() const { return errors == 0; }
+  /// True when some finding of `lint_class` was raised.
+  bool Has(LintClass lint_class) const;
+  /// One-line digest plus every non-info finding, newline-separated.
+  std::string Summary() const;
+};
+
+/// Lints a structural tape view (see tensor::Graph::DebugTape). `root` is
+/// the loss node Backward() will be seeded from; reachability is computed
+/// against it. Tests forge TapeOp vectors to seed defects the Graph op
+/// builders would refuse to construct.
+LintReport LintTape(const std::vector<tensor::TapeOp>& tape,
+                    std::int32_t root, const GraphLintOptions& options = {});
+
+/// Convenience wrapper: snapshots `g` and lints it with `root` as the loss.
+LintReport LintGraph(const tensor::Graph& g, tensor::Var root,
+                     const GraphLintOptions& options = {});
+
+}  // namespace metablink::analysis
+
+#endif  // METABLINK_ANALYSIS_GRAPH_LINT_H_

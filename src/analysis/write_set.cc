@@ -1,0 +1,120 @@
+#include "analysis/write_set.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace metablink::analysis {
+
+void WriteSetChecker::OnRegionBegin(const void* buffer, std::size_t rows,
+                                    bool expect_cover, const char* tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = active_.try_emplace(buffer);
+  if (!inserted) {
+    AddFinding(it->second.tag,
+               util::StrFormat("region re-opened by '%s' before it ended "
+                               "(nested regions on one buffer)",
+                               tag != nullptr ? tag : "?"));
+    // Reset and validate the fresh region; the old one is lost.
+    it->second.writes.clear();
+  }
+  it->second.tag = tag != nullptr ? tag : "?";
+  it->second.rows = rows;
+  it->second.expect_cover = expect_cover;
+}
+
+void WriteSetChecker::OnTaskWrite(const void* buffer, std::size_t begin,
+                                  std::size_t end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(buffer);
+  if (it == active_.end()) {
+    AddFinding("<no-region>",
+               util::StrFormat("task write [%zu,%zu) on a buffer with no "
+                               "open region",
+                               begin, end));
+    return;
+  }
+  it->second.writes.emplace_back(begin, end);
+}
+
+void WriteSetChecker::OnRegionEnd(const void* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(buffer);
+  if (it == active_.end()) {
+    AddFinding("<no-region>", "region ended on a buffer with no open region");
+    return;
+  }
+  Validate(it->second);
+  active_.erase(it);
+  ++regions_checked_;
+}
+
+void WriteSetChecker::Validate(const Region& region) {
+  // Sort by begin row; ties (identical ranges) still collide below.
+  std::vector<std::pair<std::size_t, std::size_t>> writes = region.writes;
+  std::sort(writes.begin(), writes.end());
+
+  for (const auto& [begin, end] : writes) {
+    if (end < begin || end > region.rows) {
+      AddFinding(region.tag,
+                 util::StrFormat("task range [%zu,%zu) escapes the %zu-row "
+                                 "buffer",
+                                 begin, end, region.rows));
+    }
+  }
+
+  std::size_t covered_end = 0;  // exclusive end of the prefix seen so far
+  bool gap = false;
+  for (const auto& [begin, end] : writes) {
+    if (begin >= end) continue;  // empty ranges neither cover nor collide
+    if (begin < covered_end) {
+      AddFinding(region.tag,
+                 util::StrFormat("tasks overlap on rows [%zu,%zu) — "
+                                 "write-write race",
+                                 begin, std::min(end, covered_end)));
+    } else if (begin > covered_end) {
+      gap = true;
+    }
+    covered_end = std::max(covered_end, end);
+  }
+  if (region.expect_cover && (gap || covered_end < region.rows)) {
+    AddFinding(region.tag,
+               util::StrFormat("partition does not cover all %zu rows "
+                               "(stale rows would survive)",
+                               region.rows));
+  }
+}
+
+void WriteSetChecker::AddFinding(const std::string& tag,
+                                 std::string message) {
+  findings_.push_back(Finding{tag, std::move(message)});
+}
+
+bool WriteSetChecker::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_.empty();
+}
+
+std::vector<WriteSetChecker::Finding> WriteSetChecker::findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_;
+}
+
+std::size_t WriteSetChecker::regions_checked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_checked_;
+}
+
+std::string WriteSetChecker::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = util::StrFormat(
+      "WriteSetChecker: %zu region(s) checked, %zu finding(s)",
+      regions_checked_, findings_.size());
+  for (const Finding& f : findings_) {
+    out += "\n  ";
+    out += f.ToString();
+  }
+  return out;
+}
+
+}  // namespace metablink::analysis

@@ -1,0 +1,95 @@
+#ifndef METABLINK_ANALYSIS_WRITE_SET_H_
+#define METABLINK_ANALYSIS_WRITE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/parallel_trace.h"
+
+namespace metablink::analysis {
+
+/// Deterministic race detector for the row-partitioned parallel kernels.
+///
+/// The instrumented kernels (Gemm/GemmTransposeB row blocks, the
+/// EmbeddingBag gather/scatter, RowL2Normalize, ThreadPool.ParallelForChunks
+/// itself) report, per parallel region, which row range of which output
+/// buffer each task writes. This checker proves the partition is
+///
+///   * in-bounds  — every range lies inside [0, rows),
+///   * disjoint   — no two tasks write the same row (a write-write race),
+///   * covering   — when the kernel claims full coverage, every row is
+///                  written exactly once (a "silently stale output" bug).
+///
+/// Unlike TSan this does not need the race to actually happen on a given
+/// run: it checks the declared partition, so an overlapping split is caught
+/// every time, even on a single-core machine.
+///
+/// Install with WriteSetScope (RAII) around the code under test, then
+/// inspect ok()/findings().
+class WriteSetChecker : public util::ParallelTraceObserver {
+ public:
+  struct Finding {
+    std::string tag;      ///< Region tag ("Gemm", "EmbeddingBagMean.scatter").
+    std::string message;  ///< What went wrong.
+    std::string ToString() const { return tag + ": " + message; }
+  };
+
+  WriteSetChecker() = default;
+
+  // util::ParallelTraceObserver:
+  void OnRegionBegin(const void* buffer, std::size_t rows, bool expect_cover,
+                     const char* tag) override;
+  void OnTaskWrite(const void* buffer, std::size_t begin,
+                   std::size_t end) override;
+  void OnRegionEnd(const void* buffer) override;
+
+  /// True when every closed region so far was in-bounds, disjoint and
+  /// (where claimed) covering, and the begin/write/end protocol was obeyed.
+  bool ok() const;
+  std::vector<Finding> findings() const;
+  /// Number of regions that have completed begin→end validation.
+  std::size_t regions_checked() const;
+
+  std::string Summary() const;
+
+ private:
+  struct Region {
+    std::string tag;
+    std::size_t rows = 0;
+    bool expect_cover = false;
+    /// [begin,end) row ranges, in arrival order (tasks may be concurrent).
+    std::vector<std::pair<std::size_t, std::size_t>> writes;
+  };
+
+  void AddFinding(const std::string& tag, std::string message);
+  void Validate(const Region& region);
+
+  mutable std::mutex mu_;
+  std::map<const void*, Region> active_;
+  std::vector<Finding> findings_;
+  std::size_t regions_checked_ = 0;
+};
+
+/// Installs `checker` as the process-global parallel-trace observer for the
+/// current scope and restores the previous observer on destruction.
+class WriteSetScope {
+ public:
+  explicit WriteSetScope(WriteSetChecker* checker)
+      : previous_(util::SetParallelTraceObserver(checker)) {}
+  ~WriteSetScope() { util::SetParallelTraceObserver(previous_); }
+
+  WriteSetScope(const WriteSetScope&) = delete;
+  WriteSetScope& operator=(const WriteSetScope&) = delete;
+
+ private:
+  util::ParallelTraceObserver* previous_;
+};
+
+}  // namespace metablink::analysis
+
+#endif  // METABLINK_ANALYSIS_WRITE_SET_H_

@@ -6,6 +6,7 @@
 
 #include "tensor/kernels.h"
 #include "util/logging.h"
+#include "util/parallel_trace.h"
 #include "util/thread_pool.h"
 
 namespace metablink::tensor {
@@ -69,21 +70,97 @@ void BuildBagIndex(const std::vector<std::vector<std::uint32_t>>& bags,
 
 }  // namespace
 
-Var Graph::AddNode(Tensor value) {
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "Input";
+    case OpKind::kParam:
+      return "Param";
+    case OpKind::kEmbeddingBagMean:
+      return "EmbeddingBagMean";
+    case OpKind::kMatMul:
+      return "MatMul";
+    case OpKind::kMatMulTransposeB:
+      return "MatMulTransposeB";
+    case OpKind::kAddBiasRow:
+      return "AddBiasRow";
+    case OpKind::kAdd:
+      return "Add";
+    case OpKind::kSub:
+      return "Sub";
+    case OpKind::kMul:
+      return "Mul";
+    case OpKind::kScale:
+      return "Scale";
+    case OpKind::kTanh:
+      return "Tanh";
+    case OpKind::kRelu:
+      return "Relu";
+    case OpKind::kSigmoid:
+      return "Sigmoid";
+    case OpKind::kRowL2Normalize:
+      return "RowL2Normalize";
+    case OpKind::kConcatCols:
+      return "ConcatCols";
+    case OpKind::kConcatRows:
+      return "ConcatRows";
+    case OpKind::kBroadcastRow:
+      return "BroadcastRow";
+    case OpKind::kReshape:
+      return "Reshape";
+    case OpKind::kRowDot:
+      return "RowDot";
+    case OpKind::kSoftmaxCrossEntropy:
+      return "SoftmaxCrossEntropy";
+    case OpKind::kMean:
+      return "Mean";
+    case OpKind::kWeightedSum:
+      return "WeightedSum";
+    case OpKind::kSum:
+      return "Sum";
+  }
+  return "?";
+}
+
+Var Graph::AddNode(Tensor value, OpKind kind,
+                   std::vector<std::int32_t> inputs, const Parameter* param) {
   Node n;
   n.value = std::move(value);
+  n.kind = kind;
+  n.inputs = std::move(inputs);
+  n.param = param;
   nodes_.push_back(std::move(n));
   return Var{static_cast<std::int32_t>(nodes_.size() - 1)};
+}
+
+std::vector<TapeOp> Graph::DebugTape() const {
+  std::vector<TapeOp> tape;
+  tape.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    TapeOp op;
+    op.kind = n.kind;
+    op.id = static_cast<std::int32_t>(i);
+    op.rows = n.value.rows();
+    op.cols = n.value.cols();
+    op.inputs = n.inputs;
+    op.param = n.param;
+    op.value = &n.value;
+    tape.push_back(std::move(op));
+  }
+  return tape;
 }
 
 const Tensor& Graph::value(Var v) const { return node(v).value; }
 
 const Tensor& Graph::grad(Var v) const { return default_ws_.grad(*this, v); }
 
-Var Graph::Input(Tensor value) { return AddNode(std::move(value)); }
+Var Graph::Input(Tensor value) {
+  return AddNode(std::move(value), OpKind::kInput);
+}
 
 Var Graph::Param(Parameter* p) {
-  Var v = AddNode(p->value);
+  Var v = AddNode(p->value, OpKind::kParam, {}, p);
   Var self = v;
   node(v).backward = [self, p](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -111,7 +188,10 @@ Var Graph::EmbeddingBagMean(Parameter* table,
       std::make_shared<std::vector<std::vector<std::uint32_t>>>(
           std::move(bags));
   Tensor out(n, d);
-  auto gather = [&out, table, &shared_bags, d](std::size_t b) {
+  util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
+  auto gather = [&out, table, &shared_bags, d, trace](std::size_t b) {
+    // The task owns row b whether or not the bag is empty.
+    if (trace != nullptr) trace->OnTaskWrite(out.data().data(), b, b + 1);
     const auto& bag = (*shared_bags)[b];
     if (bag.empty()) return;
     const float inv = 1.0f / static_cast<float>(bag.size());
@@ -120,12 +200,17 @@ Var Graph::EmbeddingBagMean(Parameter* table,
       Axpy(inv, table->value.row_data(id), dst, d);
     }
   };
+  if (trace != nullptr) {
+    trace->OnRegionBegin(out.data().data(), n, /*expect_cover=*/true,
+                         "EmbeddingBagMean.forward");
+  }
   if (pool_ != nullptr && n >= 2) {
     pool_->ParallelFor(n, gather);
   } else {
     for (std::size_t b = 0; b < n; ++b) gather(b);
   }
-  Var v = AddNode(std::move(out));
+  if (trace != nullptr) trace->OnRegionEnd(out.data().data());
+  Var v = AddNode(std::move(out), OpKind::kEmbeddingBagMean, {}, table);
   Var self = v;
   auto index = std::make_shared<BagIndex>();
   node(v).backward = [self, table, shared_bags, index](const Graph* g,
@@ -164,9 +249,14 @@ Var Graph::EmbeddingBagMean(Parameter* table,
     for (std::size_t r = 0; r < nrows; ++r) {
       if (live[r]) ws->TouchParamRow(table, index->rows[r]);
     }
+    util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
     auto scatter = [&](std::size_t r) {
       if (!live[r]) return;
-      float* dst = gt.row_data(index->rows[r]);
+      const std::uint32_t row = index->rows[r];
+      if (trace != nullptr) {
+        trace->OnTaskWrite(gt.data().data(), row, row + 1);
+      }
+      float* dst = gt.row_data(row);
       for (std::size_t e = index->offsets[r]; e < index->offsets[r + 1];
            ++e) {
         const BagIndex::Entry& en = index->entries[e];
@@ -174,12 +264,19 @@ Var Graph::EmbeddingBagMean(Parameter* table,
         Axpy(en.inv, gr.row_data(en.bag), dst, d);
       }
     };
+    if (trace != nullptr) {
+      // Scatter: tasks own one distinct table row each, but dead rows are
+      // skipped, so only disjointness (not coverage) is expected.
+      trace->OnRegionBegin(gt.data().data(), table->value.rows(),
+                           /*expect_cover=*/false, "EmbeddingBagMean.scatter");
+    }
     util::ThreadPool* pool = g->pool();
     if (pool != nullptr && nrows >= 64) {
       pool->ParallelFor(nrows, scatter);
     } else {
       for (std::size_t r = 0; r < nrows; ++r) scatter(r);
     }
+    if (trace != nullptr) trace->OnRegionEnd(gt.data().data());
   };
   node(v).jvp = [self, table, shared_bags](const Graph* g,
                                            JvpWorkspace* ws) {
@@ -187,7 +284,9 @@ Var Graph::EmbeddingBagMean(Parameter* table,
     // forward pass, reading grad rows instead of value rows.
     Tensor& t = ws->TangentForWrite(*g, self);
     const std::size_t d = table->value.cols();
-    auto gather = [&t, table, &shared_bags, d](std::size_t b) {
+    util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
+    auto gather = [&t, table, &shared_bags, d, trace](std::size_t b) {
+      if (trace != nullptr) trace->OnTaskWrite(t.data().data(), b, b + 1);
       const auto& bag = (*shared_bags)[b];
       if (bag.empty()) return;
       const float inv = 1.0f / static_cast<float>(bag.size());
@@ -196,12 +295,17 @@ Var Graph::EmbeddingBagMean(Parameter* table,
         Axpy(inv, table->grad.row_data(id), dst, d);
       }
     };
+    if (trace != nullptr) {
+      trace->OnRegionBegin(t.data().data(), shared_bags->size(),
+                           /*expect_cover=*/true, "EmbeddingBagMean.jvp");
+    }
     util::ThreadPool* pool = g->pool();
     if (pool != nullptr && shared_bags->size() >= 2) {
       pool->ParallelFor(shared_bags->size(), gather);
     } else {
       for (std::size_t b = 0; b < shared_bags->size(); ++b) gather(b);
     }
+    if (trace != nullptr) trace->OnRegionEnd(t.data().data());
   };
   return v;
 }
@@ -212,7 +316,7 @@ Var Graph::MatMul(Var a, Var b) {
   METABLINK_CHECK(ta.cols() == tb.rows()) << "MatMul shape mismatch";
   Tensor out(ta.rows(), tb.cols());
   Gemm(ta, tb, &out, pool_);
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kMatMul, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -241,7 +345,7 @@ Var Graph::MatMulTransposeB(Var a, Var b) {
   METABLINK_CHECK(ta.cols() == tb.cols()) << "MatMulTransposeB shape mismatch";
   Tensor out(ta.rows(), tb.rows());
   GemmTransposeB(ta, tb, &out, pool_);
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kMatMulTransposeB, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -273,7 +377,7 @@ Var Graph::AddBiasRow(Var x, Var bias) {
   for (std::size_t i = 0; i < out.rows(); ++i) {
     Axpy(1.0f, tbias.row_data(0), out.row_data(i), out.cols());
   }
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kAddBiasRow, {x.id, bias.id});
   Var self = v;
   node(v).backward = [self, x, bias](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -310,7 +414,7 @@ Var Graph::Add(Var a, Var b) {
       << "Add shape mismatch";
   Tensor out = ta;
   Axpy(1.0f, tb.data().data(), out.data().data(), out.size());
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kAdd, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -337,7 +441,7 @@ Var Graph::Sub(Var a, Var b) {
       << "Sub shape mismatch";
   Tensor out = ta;
   Axpy(-1.0f, tb.data().data(), out.data().data(), out.size());
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kSub, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -366,7 +470,7 @@ Var Graph::Mul(Var a, Var b) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     out.data()[i] *= tb.data()[i];
   }
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kMul, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -408,7 +512,7 @@ Var Graph::Mul(Var a, Var b) {
 Var Graph::Scale(Var x, float s) {
   Tensor out = node(x).value;
   for (float& v : out.data()) v *= s;
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kScale, {x.id});
   Var self = v;
   node(v).backward = [self, x, s](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -427,7 +531,7 @@ Var Graph::Scale(Var x, float s) {
 Var Graph::Tanh(Var x) {
   Tensor out = node(x).value;
   for (float& v : out.data()) v = std::tanh(v);
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kTanh, {x.id});
   Var self = v;
   node(v).backward = [self, x](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -459,7 +563,7 @@ Var Graph::Tanh(Var x) {
 Var Graph::Relu(Var x) {
   Tensor out = node(x).value;
   for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kRelu, {x.id});
   Var self = v;
   node(v).backward = [self, x](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -491,7 +595,7 @@ Var Graph::Relu(Var x) {
 Var Graph::Sigmoid(Var x) {
   Tensor out = node(x).value;
   for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kSigmoid, {x.id});
   Var self = v;
   node(v).backward = [self, x](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -525,18 +629,25 @@ Var Graph::RowL2Normalize(Var x, float eps) {
   const Tensor& tx = node(x).value;
   Tensor out = tx;
   auto shared_norms = std::make_shared<std::vector<float>>(tx.rows());
-  auto normalize = [&out, &tx, &shared_norms, eps](std::size_t i) {
+  util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
+  auto normalize = [&out, &tx, &shared_norms, eps, trace](std::size_t i) {
+    if (trace != nullptr) trace->OnTaskWrite(out.data().data(), i, i + 1);
     float n2 = Dot(tx.row_data(i), tx.row_data(i), tx.cols());
     (*shared_norms)[i] = std::max(std::sqrt(n2), eps);
     const float inv = 1.0f / (*shared_norms)[i];
     for (std::size_t c = 0; c < tx.cols(); ++c) out.row_data(i)[c] *= inv;
   };
+  if (trace != nullptr) {
+    trace->OnRegionBegin(out.data().data(), tx.rows(), /*expect_cover=*/true,
+                         "RowL2Normalize.forward");
+  }
   if (pool_ != nullptr && tx.rows() >= 2) {
     pool_->ParallelFor(tx.rows(), normalize);
   } else {
     for (std::size_t i = 0; i < tx.rows(); ++i) normalize(i);
   }
-  Var v = AddNode(std::move(out));
+  if (trace != nullptr) trace->OnRegionEnd(out.data().data());
+  Var v = AddNode(std::move(out), OpKind::kRowL2Normalize, {x.id});
   Var self = v;
   node(v).backward = [self, x, shared_norms](const Graph* g,
                                              GradWorkspace* ws) {
@@ -587,7 +698,7 @@ Var Graph::ConcatCols(Var a, Var b) {
     std::copy(ta.row_data(i), ta.row_data(i) + ta.cols(), dst);
     std::copy(tb.row_data(i), tb.row_data(i) + tb.cols(), dst + ta.cols());
   }
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kConcatCols, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -636,7 +747,10 @@ Var Graph::ConcatRows(const std::vector<Var>& parts) {
     std::copy(t.data().begin(), t.data().end(), out.row_data(r));
     r += t.rows();
   }
-  Var v = AddNode(std::move(out));
+  std::vector<std::int32_t> part_ids;
+  part_ids.reserve(parts.size());
+  for (Var p : parts) part_ids.push_back(p.id);
+  Var v = AddNode(std::move(out), OpKind::kConcatRows, std::move(part_ids));
   Var self = v;
   auto shared_parts = std::make_shared<std::vector<Var>>(parts);
   node(v).backward = [self, shared_parts](const Graph* g, GradWorkspace* ws) {
@@ -673,7 +787,7 @@ Var Graph::BroadcastRow(Var row, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     std::copy(tr.row_data(0), tr.row_data(0) + c, out.row_data(i));
   }
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kBroadcastRow, {row.id});
   Var self = v;
   node(v).backward = [self, row](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -700,7 +814,7 @@ Var Graph::Reshape(Var x, std::size_t rows, std::size_t cols) {
   const Tensor& tx = node(x).value;
   METABLINK_CHECK(rows * cols == tx.size()) << "Reshape size mismatch";
   Tensor out(rows, cols, tx.data());
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kReshape, {x.id});
   Var self = v;
   node(v).backward = [self, x](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -725,7 +839,7 @@ Var Graph::RowDot(Var a, Var b) {
   for (std::size_t i = 0; i < ta.rows(); ++i) {
     out.at(i, 0) = Dot(ta.row_data(i), tb.row_data(i), ta.cols());
   }
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kRowDot, {a.id, b.id});
   Var self = v;
   node(v).backward = [self, a, b](const Graph* g, GradWorkspace* ws) {
     const Tensor& gr = ws->grad(*g, self);
@@ -782,7 +896,7 @@ Var Graph::SoftmaxCrossEntropy(Var logits, std::vector<std::size_t> targets) {
           static_cast<float>(std::exp(static_cast<double>(row[c]) - logsum));
     }
   }
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kSoftmaxCrossEntropy, {logits.id});
   Var self = v;
   auto shared_targets =
       std::make_shared<std::vector<std::size_t>>(std::move(targets));
@@ -827,7 +941,7 @@ Var Graph::Mean(Var x) {
   for (float v : tx.data()) acc += v;
   Tensor out(1, 1);
   out.at(0, 0) = static_cast<float>(acc / static_cast<double>(tx.size()));
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kMean, {x.id});
   Var self = v;
   node(v).backward = [self, x](const Graph* g, GradWorkspace* ws) {
     const float gv = ws->grad(*g, self).at(0, 0);
@@ -852,7 +966,7 @@ Var Graph::Sum(Var x) {
   for (float v : tx.data()) acc += v;
   Tensor out(1, 1);
   out.at(0, 0) = static_cast<float>(acc);
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kSum, {x.id});
   Var self = v;
   node(v).backward = [self, x](const Graph* g, GradWorkspace* ws) {
     const float gv = ws->grad(*g, self).at(0, 0);
@@ -879,7 +993,7 @@ Var Graph::WeightedSum(Var column, std::vector<float> weights) {
   }
   Tensor out(1, 1);
   out.at(0, 0) = static_cast<float>(acc);
-  Var v = AddNode(std::move(out));
+  Var v = AddNode(std::move(out), OpKind::kWeightedSum, {column.id});
   Var self = v;
   auto shared_w = std::make_shared<std::vector<float>>(std::move(weights));
   node(v).backward = [self, column, shared_w](const Graph* g,

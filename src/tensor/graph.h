@@ -21,6 +21,53 @@ struct Var {
   bool valid() const { return id >= 0; }
 };
 
+/// Op discriminator recorded on every tape node. The numeric kernels never
+/// branch on it; it exists so analysis::GraphLint (via DebugTape) can
+/// re-derive and verify the structural invariants of a built tape.
+enum class OpKind : std::uint8_t {
+  kInput,
+  kParam,
+  kEmbeddingBagMean,
+  kMatMul,
+  kMatMulTransposeB,
+  kAddBiasRow,
+  kAdd,
+  kSub,
+  kMul,
+  kScale,
+  kTanh,
+  kRelu,
+  kSigmoid,
+  kRowL2Normalize,
+  kConcatCols,
+  kConcatRows,
+  kBroadcastRow,
+  kReshape,
+  kRowDot,
+  kSoftmaxCrossEntropy,
+  kMean,
+  kWeightedSum,
+  kSum,
+};
+
+/// Human-readable op name ("MatMul", "EmbeddingBagMean", ...).
+const char* OpKindName(OpKind kind);
+
+/// Structural view of one tape node, exported by Graph::DebugTape for the
+/// static analyzers. Tests forge TapeOp vectors directly to seed defects
+/// that the op builders themselves refuse to construct.
+struct TapeOp {
+  OpKind kind = OpKind::kInput;
+  std::int32_t id = -1;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int32_t> inputs;
+  /// Parameter read by kParam / kEmbeddingBagMean nodes (else nullptr).
+  const Parameter* param = nullptr;
+  /// Node value; nullptr in hand-forged tapes (disables value scans).
+  const Tensor* value = nullptr;
+};
+
 /// Reverse-mode autodiff over dense matrices.
 ///
 /// A Graph is a single-use tape: build the forward computation with the op
@@ -168,6 +215,11 @@ class Graph {
 
   std::size_t num_nodes() const { return nodes_.size(); }
 
+  /// Structural snapshot of the tape (op kinds, shapes, input edges,
+  /// parameter bindings) for analysis::GraphLint. O(nodes); values are
+  /// referenced, not copied, so the Graph must outlive the snapshot.
+  std::vector<TapeOp> DebugTape() const;
+
  private:
   struct Node {
     Tensor value;
@@ -177,9 +229,15 @@ class Graph {
     // Computes this node's tangent from its inputs' tangents; empty for
     // zero-tangent leaves (Input).
     std::function<void(const Graph*, JvpWorkspace*)> jvp;
+    // Structural metadata consumed by DebugTape/GraphLint.
+    OpKind kind = OpKind::kInput;
+    std::vector<std::int32_t> inputs;
+    const Parameter* param = nullptr;
   };
 
-  Var AddNode(Tensor value);
+  Var AddNode(Tensor value, OpKind kind,
+              std::vector<std::int32_t> inputs = {},
+              const Parameter* param = nullptr);
   Node& node(Var v) { return nodes_[static_cast<std::size_t>(v.id)]; }
   const Node& node(Var v) const {
     return nodes_[static_cast<std::size_t>(v.id)];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel_trace.h"
 #include "util/thread_pool.h"
 
 namespace metablink::tensor {
@@ -83,12 +84,21 @@ void Gemm(const Tensor& a, const Tensor& b, Tensor* out,
     GemmRaw(a.data().data(), b.data().data(), out->data().data(), n, k, m);
     return;
   }
+  util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
+  if (trace != nullptr) {
+    trace->OnRegionBegin(out->data().data(), n, /*expect_cover=*/true,
+                         "Gemm");
+  }
   pool->ParallelForChunks(
-      n, 0, [&a, &b, out, k, m](std::size_t, std::size_t begin,
-                                std::size_t end) {
+      n, 0, [&a, &b, out, k, m, trace](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+        if (trace != nullptr) {
+          trace->OnTaskWrite(out->data().data(), begin, end);
+        }
         GemmRaw(a.row_data(begin), b.data().data(), out->row_data(begin),
                 end - begin, k, m);
       });
+  if (trace != nullptr) trace->OnRegionEnd(out->data().data());
 }
 
 void GemmTransposeB(const Tensor& a, const Tensor& b, Tensor* out,
@@ -102,12 +112,21 @@ void GemmTransposeB(const Tensor& a, const Tensor& b, Tensor* out,
                       n, d, m);
     return;
   }
+  util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
+  if (trace != nullptr) {
+    trace->OnRegionBegin(out->data().data(), n, /*expect_cover=*/true,
+                         "GemmTransposeB");
+  }
   pool->ParallelForChunks(
-      n, 0, [&a, &b, out, d, m](std::size_t, std::size_t begin,
-                                std::size_t end) {
+      n, 0, [&a, &b, out, d, m, trace](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+        if (trace != nullptr) {
+          trace->OnTaskWrite(out->data().data(), begin, end);
+        }
         GemmTransposeBRaw(a.row_data(begin), b.data().data(),
                           out->row_data(begin), end - begin, d, m);
       });
+  if (trace != nullptr) trace->OnRegionEnd(out->data().data());
 }
 
 void GemmTransposeA(const Tensor& a, const Tensor& b, Tensor* out,
@@ -123,12 +142,21 @@ void GemmTransposeA(const Tensor& a, const Tensor& b, Tensor* out,
   }
   // Workers own disjoint [k_begin, k_end) output-row ranges; each element
   // still accumulates in ascending i order, so this matches serial exactly.
+  util::ParallelTraceObserver* trace = util::GetParallelTraceObserver();
+  if (trace != nullptr) {
+    trace->OnRegionBegin(out->data().data(), k, /*expect_cover=*/true,
+                         "GemmTransposeA");
+  }
   pool->ParallelForChunks(
-      k, 0, [&a, &b, out, n, k, m](std::size_t, std::size_t begin,
-                                   std::size_t end) {
+      k, 0, [&a, &b, out, n, k, m, trace](std::size_t, std::size_t begin,
+                                          std::size_t end) {
+        if (trace != nullptr) {
+          trace->OnTaskWrite(out->data().data(), begin, end);
+        }
         GemmTransposeARaw(a.data().data(), b.data().data(),
                           out->data().data(), n, k, m, begin, end);
       });
+  if (trace != nullptr) trace->OnRegionEnd(out->data().data());
 }
 
 }  // namespace metablink::tensor

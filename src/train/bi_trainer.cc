@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/graph_lint.h"
+#include "util/logging.h"
+
 namespace metablink::train {
 
 BiEncoderTrainer::BiEncoderTrainer(TrainOptions options) : options_(options) {}
@@ -43,6 +46,12 @@ util::Result<TrainResult> BiEncoderTrainer::Train(
       }
       tensor::Graph graph;
       tensor::Var losses = model->InBatchLoss(&graph, batch, kb);
+      if (result.steps == 0) {
+        // First-step graph lint; see meta_trainer.h for the rationale.
+        const analysis::LintReport lint = analysis::LintGraph(graph, losses);
+        METABLINK_CHECK(lint.ok())
+            << "bi-encoder training graph failed lint:\n" << lint.Summary();
+      }
       model->params()->ZeroGrads();
       if (batch_weights.empty()) {
         batch_weights.assign(batch.size(), 1.0f / batch.size());

@@ -6,12 +6,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/graph_lint.h"
 #include "data/example.h"
 #include "tensor/grad_workspace.h"
 #include "tensor/graph.h"
 #include "tensor/optimizer.h"
 #include "tensor/parameter.h"
 #include "train/cross_trainer.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -165,6 +167,15 @@ class MetaReweightTrainerT {
     tensor::Graph graph;
     graph.SetPool(options_.pool);
     tensor::Var losses = loss_fn_(&graph, synthetic_batch);
+    if (result_.steps == 0) {
+      // First-step graph lint: the tape's structure is identical on every
+      // step (only the values change), so checking once per trainer proves
+      // the whole run's graphs are well-formed at negligible cost.
+      const analysis::LintReport lint = analysis::LintGraph(graph, losses);
+      METABLINK_CHECK(lint.ok()) << "meta-reweight training graph failed "
+                                 << "lint:\n"
+                                 << lint.Summary();
+    }
     std::vector<float> raw(n, 0.0f);
     if (options_.meta_grad == MetaGrad::kJvp) {
       // raw[j] = ⟨∇_φ l_j, g_meta⟩ is the directional derivative of l_j

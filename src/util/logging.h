@@ -46,9 +46,20 @@ class LogMessage {
                                 __FILE__, __LINE__)                  \
       .stream()
 
-/// Fatal-on-false invariant check (enabled in all build types).
+/// Fatal-on-false invariant check (enabled in all build types, including
+/// RelWithDebInfo/Release). On failure the message carries the caller's
+/// file:line (METABLINK_LOG expands __FILE__/__LINE__ at the use site) and
+/// the stringified condition, then any streamed detail:
+///
+///   [FATAL graph.cc:212] Check failed: ta.cols() == tb.rows() MatMul ...
+///
+/// The `if/else` spelling (rather than a bare `if (!(cond))`) keeps the
+/// macro safe inside unbraced if/else at the call site — a trailing `else`
+/// binds to the macro's own `if` instead of silently re-pairing with the
+/// caller's — while still allowing `METABLINK_CHECK(x) << "detail"`.
 #define METABLINK_CHECK(cond)                                      \
-  if (!(cond))                                                      \
-  METABLINK_LOG(kFatal) << "Check failed: " #cond " "
+  if (cond) {                                                       \
+  } else                                                            \
+    METABLINK_LOG(kFatal) << "Check failed: " #cond " "
 
 #endif  // METABLINK_UTIL_LOGGING_H_

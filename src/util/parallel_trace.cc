@@ -1,0 +1,20 @@
+#include "util/parallel_trace.h"
+
+#include <atomic>
+
+namespace metablink::util {
+
+namespace {
+std::atomic<ParallelTraceObserver*> g_observer{nullptr};
+}  // namespace
+
+ParallelTraceObserver* SetParallelTraceObserver(
+    ParallelTraceObserver* observer) {
+  return g_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+ParallelTraceObserver* GetParallelTraceObserver() {
+  return g_observer.load(std::memory_order_acquire);
+}
+
+}  // namespace metablink::util

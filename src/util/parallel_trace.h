@@ -1,0 +1,55 @@
+#ifndef METABLINK_UTIL_PARALLEL_TRACE_H_
+#define METABLINK_UTIL_PARALLEL_TRACE_H_
+
+#include <cstddef>
+
+namespace metablink::util {
+
+/// Observer interface for the opt-in write-set instrumentation.
+///
+/// Parallel code paths (ThreadPool::ParallelForChunks and the partitioned
+/// tensor ops) describe the row partition they are about to execute: a
+/// region is opened for an output buffer, each task reports the half-open
+/// row range it owns, and the region is closed once the partition is fully
+/// described. An installed observer (analysis::WriteSetChecker) can then
+/// prove the partition disjoint and, when expected, covering — a
+/// deterministic race check that needs no TSan and no particular thread
+/// interleaving to fire.
+///
+/// OnRegionBegin/OnRegionEnd are called from the thread that launches the
+/// parallel region; OnTaskWrite may be called concurrently from worker
+/// threads, so implementations must be thread-safe. With no observer
+/// installed (the default) every hook site costs one atomic load.
+class ParallelTraceObserver {
+ public:
+  virtual ~ParallelTraceObserver() = default;
+
+  /// A parallel region will write rows of `buffer` (an identity key, never
+  /// dereferenced). `rows` is the buffer's total row count. When
+  /// `expect_cover` is true the region's tasks must collectively write
+  /// every row in [0, rows) exactly once; otherwise disjointness alone is
+  /// required (scatter-style partitions that only touch live rows).
+  virtual void OnRegionBegin(const void* buffer, std::size_t rows,
+                             bool expect_cover, const char* tag) = 0;
+
+  /// One task of an open region owns rows [begin, end) of `buffer`.
+  virtual void OnTaskWrite(const void* buffer, std::size_t begin,
+                           std::size_t end) = 0;
+
+  /// The region's partition is fully described; verify and retire it.
+  virtual void OnRegionEnd(const void* buffer) = 0;
+};
+
+/// Installs `observer` as the process-global trace observer and returns the
+/// previous one (nullptr clears). Meant for scoped use via
+/// analysis::WriteSetScope; swapping while parallel regions are in flight
+/// is the caller's race to avoid.
+ParallelTraceObserver* SetParallelTraceObserver(
+    ParallelTraceObserver* observer);
+
+/// Currently installed observer, or nullptr (the uninstrumented fast path).
+ParallelTraceObserver* GetParallelTraceObserver();
+
+}  // namespace metablink::util
+
+#endif  // METABLINK_UTIL_PARALLEL_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/parallel_trace.h"
+
 namespace metablink::util {
 
 namespace {
@@ -61,7 +63,16 @@ std::size_t ThreadPool::ParallelForChunks(
   if (n == 0) return 0;
   if (max_chunks == 0) max_chunks = workers_.size();
   const std::size_t chunks = std::min(n, std::max<std::size_t>(1, max_chunks));
+  ParallelTraceObserver* trace = GetParallelTraceObserver();
   if (chunks <= 1 || OnWorkerThread()) {
+    if (trace != nullptr) {
+      // Serial degrade still owns the whole index domain; report it so an
+      // active WriteSetChecker sees a covering single-chunk partition.
+      trace->OnRegionBegin(&fn, n, /*expect_cover=*/true,
+                           "ThreadPool.ParallelForChunks.serial");
+      trace->OnTaskWrite(&fn, 0, n);
+      trace->OnRegionEnd(&fn);
+    }
     fn(0, 0, n);
     return 1;
   }
@@ -81,6 +92,18 @@ std::size_t ThreadPool::ParallelForChunks(
     ++used;
   }
   done->remaining = used;
+  if (trace != nullptr) {
+    // The partition is fully determined before any task runs, so describe
+    // it synchronously from the launching thread: the checker proves the
+    // chunk arithmetic splits [0, n) into disjoint, covering ranges.
+    trace->OnRegionBegin(done.get(), n, /*expect_cover=*/true,
+                         "ThreadPool.ParallelForChunks");
+    for (std::size_t c = 0; c < used; ++c) {
+      trace->OnTaskWrite(done.get(), c * chunk_size,
+                         std::min(n, c * chunk_size + chunk_size));
+    }
+    trace->OnRegionEnd(done.get());
+  }
   for (std::size_t c = 0; c < used; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(n, begin + chunk_size);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <set>
 
 #include "util/logging.h"
@@ -340,6 +341,71 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
   SUCCEED();
 }
 
+// ---- ParallelForChunks edge cases ------------------------------------------
+//
+// Each test asserts the partition property directly: every index in [0, n)
+// visited exactly once, chunk ids dense in [0, used).
+
+TEST(ThreadPoolTest, ParallelForChunksEmptyRangeRunsNothing) {
+  ThreadPool pool(3);
+  const std::size_t used = pool.ParallelForChunks(
+      0, 4, [](std::size_t, std::size_t, std::size_t) { FAIL(); });
+  EXPECT_EQ(used, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksFewerItemsThanWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(2);
+  const std::size_t used = pool.ParallelForChunks(
+      2, 0, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  EXPECT_GE(used, 1u);
+  EXPECT_LE(used, 2u);  // never more chunks than items
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksIndivisibleSplitCoversExactlyOnce) {
+  ThreadPool pool(3);
+  // 257 items into 7 requested chunks: 257 = 7*36 + 5, so the final chunk
+  // is short — the classic off-by-one breeding ground.
+  std::vector<std::atomic<int>> hits(257);
+  std::set<std::size_t> chunk_ids;
+  std::mutex mu;
+  const std::size_t used = pool.ParallelForChunks(
+      257, 7, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          chunk_ids.insert(chunk);
+        }
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(chunk_ids.size(), used);
+  for (std::size_t c = 0; c < used; ++c) EXPECT_TRUE(chunk_ids.count(c));
+}
+
+TEST(ThreadPoolTest, ParallelForChunksNestedCallDegradesSerially) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<std::size_t> inner_used{99};
+  std::atomic<bool> was_on_worker{false};
+  pool.Submit([&] {
+    was_on_worker = pool.OnWorkerThread();
+    // Nested call from a worker must not deadlock; it degrades to one
+    // serial chunk covering the whole range.
+    inner_used = pool.ParallelForChunks(
+        64, 8, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          EXPECT_EQ(chunk, 0u);
+          for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        });
+  });
+  pool.Wait();
+  EXPECT_TRUE(was_on_worker.load());
+  EXPECT_EQ(inner_used.load(), 1u);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 // ---- logging ---------------------------------------------------------------
 
 TEST(LoggingTest, LevelFiltering) {
@@ -348,6 +414,29 @@ TEST(LoggingTest, LevelFiltering) {
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
   METABLINK_LOG(kInfo) << "suppressed (not visible in test output)";
   SetLogLevel(old);
+}
+
+TEST(LoggingDeathTest, CheckPrintsConditionAndStreamedDetail) {
+  EXPECT_DEATH(METABLINK_CHECK(2 + 2 == 5) << "arithmetic drifted",
+               "Check failed: 2 \\+ 2 == 5.*arithmetic drifted");
+}
+
+TEST(LoggingDeathTest, CheckPrintsFailingFileAndLine) {
+  // The [FATAL file:line] prefix must point at the METABLINK_CHECK use
+  // site (this file), not at logging.h — that is what makes a release-mode
+  // abort report actionable.
+  EXPECT_DEATH(METABLINK_CHECK(false), "util_test\\.cc:[0-9]+");
+}
+
+TEST(LoggingTest, CheckPairsCorrectlyUnderDanglingElse) {
+  // Regression guard: METABLINK_CHECK expands to an if/else, so an
+  // unbraced `if (...) METABLINK_CHECK(...); else ...` must keep the outer
+  // else paired with the outer if.
+  if (true)
+    METABLINK_CHECK(true) << "passing check inside unbraced if";
+  else
+    FAIL() << "outer else got captured by the macro's expansion";
+  SUCCEED();
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Full local CI matrix: builds and tests metablink under every supported
+# hardening configuration, then runs the static analyzers.
+#
+# Stages (each in its own build tree, so they never poison each other):
+#   1. default    — RelWithDebInfo build + full ctest suite
+#   2. asan-ubsan — METABLINK_SANITIZE=address,undefined build + full ctest
+#   3. tsan       — METABLINK_SANITIZE=thread build + full ctest
+#   4. clang-tidy — bugprone/performance/concurrency checks over src/
+#                   (SKIPped when clang-tidy is not installed)
+#   5. graphlint  — the analyzer self-checks: analysis_test (GraphLint
+#                   seeded-defect fixtures + WriteSetChecker) from stage 1's
+#                   tree, rerun explicitly so a filtered ctest cannot hide it
+#
+# Fails fast: the first failing stage stops the run; a summary table of
+# per-stage PASS/FAIL/SKIP status is always printed on exit.
+#
+# Usage: tools/check.sh [jobs]   (default: nproc)
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+STAGES=(default asan-ubsan tsan clang-tidy graphlint)
+declare -A STATUS
+for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
+
+summary() {
+  echo
+  echo "== check.sh summary =="
+  printf '%-12s %s\n' "stage" "status"
+  printf '%-12s %s\n' "-----" "------"
+  for s in "${STAGES[@]}"; do
+    printf '%-12s %s\n' "$s" "${STATUS[$s]}"
+  done
+}
+trap summary EXIT
+
+fail() {
+  STATUS[$1]="FAIL"
+  echo "check.sh: stage '$1' failed" >&2
+  exit 1
+}
+
+build_and_test() {
+  local stage="$1" dir="$2"
+  shift 2
+  echo
+  echo "== stage: $stage ($dir) =="
+  cmake -B "$dir" -S . "$@" || fail "$stage"
+  cmake --build "$dir" -j "$JOBS" || fail "$stage"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS") || fail "$stage"
+  STATUS[$stage]="PASS"
+}
+
+build_and_test default build-check-default
+
+build_and_test asan-ubsan build-check-asan-ubsan \
+  "-DMETABLINK_SANITIZE=address,undefined"
+
+build_and_test tsan build-check-tsan "-DMETABLINK_SANITIZE=thread"
+
+echo
+echo "== stage: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Stage 1's tree provides the compilation database.
+  cmake -B build-check-default -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || fail clang-tidy
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+  clang-tidy -p build-check-default "${TIDY_SOURCES[@]}" || fail clang-tidy
+  STATUS[clang-tidy]="PASS"
+else
+  echo "clang-tidy not installed; skipping"
+  STATUS[clang-tidy]="SKIP"
+fi
+
+echo
+echo "== stage: graphlint =="
+# Explicit analyzer self-check: GraphLint seeded-defect fixtures, the
+# WriteSetChecker race fixtures, and the instrumented-kernel proofs.
+./build-check-default/tests/analysis_test || fail graphlint
+STATUS[graphlint]="PASS"
+
+echo
+echo "check.sh: all stages passed (or were skipped)"
