@@ -1,0 +1,373 @@
+// Serving benchmark: times end-to-end Link (encode -> retrieve -> rerank)
+// under three serving strategies over the same request stream and writes
+// BENCH_serving.json (argv override; --smoke shrinks every dimension for
+// the CI smoke stage).
+//
+//   tape_single:     one request at a time through the autodiff-tape
+//                    forward paths (Graph-building EmbedMentions + Score),
+//                    against a prebuilt domain index. This is the serving
+//                    cost of the training code paths.
+//   tapefree_single: one request at a time through the tape-free kernels
+//                    (EncodeMentionsInference + ScoreInference).
+//   server_batched:  LinkingServer micro-batching scheduler, 8 concurrent
+//                    client threads (plus an int8-retrieval variant).
+//
+// Also verifies the serving-path contracts the speedup is not allowed to
+// buy with accuracy: tape vs tape-free scores match to 1e-6 and int8
+// retrieval reproduces the exact fp32 top-64.
+//
+// Encoders are randomly initialized: serving cost does not depend on
+// trained weights, only on shapes and sparsity.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "model/bi_encoder.h"
+#include "model/cross_encoder.h"
+#include "retrieval/dense_index.h"
+#include "serve/linking_server.h"
+#include "util/rng.h"
+
+using namespace metablink;
+
+namespace {
+
+double g_sink = 0.0;
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(v.size() - 1, std::ceil(p * v.size()) - 1));
+  return v[idx];
+}
+
+struct ModeResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+};
+
+ModeResult Summarize(const std::vector<double>& latencies, double wall_ms) {
+  ModeResult r;
+  r.p50_ms = Percentile(latencies, 0.50);
+  r.p99_ms = Percentile(latencies, 0.99);
+  r.qps = wall_ms > 0.0 ? 1000.0 * latencies.size() / wall_ms : 0.0;
+  return r;
+}
+
+struct BenchScale {
+  std::size_t num_entities = 4000;
+  std::size_t distinct_requests = 256;
+  std::size_t total_requests = 2000;
+  std::size_t retrieve_k = 64;
+  std::size_t client_threads = 8;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  BenchScale scale;
+  if (smoke) {
+    scale.num_entities = 250;
+    scale.distinct_requests = 24;
+    scale.total_requests = 96;
+    scale.retrieve_k = 16;
+  }
+
+  // ---- World: one domain, its examples as the request pool. ----------------
+  data::GeneratorOptions gopts;
+  gopts.seed = 404;
+  gopts.shared_vocab_size = 600;
+  gopts.domain_vocab_size = 300;
+  data::ZeshelLikeGenerator gen(gopts);
+  std::vector<data::DomainSpec> specs(1);
+  specs[0].name = "serving";
+  specs[0].num_entities = scale.num_entities;
+  specs[0].num_examples = std::max<std::size_t>(scale.distinct_requests, 64);
+  specs[0].num_documents = 32;
+  data::Corpus corpus = std::move(*gen.Generate(specs));
+  const kb::KnowledgeBase& kb = corpus.kb;
+  const auto& pool_examples = corpus.ExamplesIn("serving");
+
+  model::BiEncoderConfig bi_cfg;
+  bi_cfg.features.hasher.num_buckets = 16384;
+  bi_cfg.dim = 64;
+  model::CrossEncoderConfig cross_cfg;
+  cross_cfg.features.hasher.num_buckets = 16384;
+  cross_cfg.dim = 64;
+  cross_cfg.hidden = 64;
+  util::Rng bi_rng(11), cross_rng(12);
+  model::BiEncoder bi(bi_cfg, &bi_rng);
+  model::CrossEncoder cross(cross_cfg, &cross_rng);
+
+  // The request stream: total_requests drawn round-robin from a pool of
+  // distinct mentions (a zipf-free stand-in for repeated production
+  // queries; repeats are what the LRU cache monetizes).
+  std::vector<data::LinkingExample> requests;
+  requests.reserve(scale.total_requests);
+  for (std::size_t i = 0; i < scale.total_requests; ++i) {
+    requests.push_back(pool_examples[i % scale.distinct_requests]);
+  }
+  const std::size_t k = scale.retrieve_k;
+
+  // Prebuilt index shared by the single-query modes (the server builds its
+  // own identical one).
+  retrieval::DenseIndex index;
+  {
+    const auto& ids = kb.EntitiesInDomain("serving");
+    std::vector<kb::Entity> entities;
+    entities.reserve(ids.size());
+    for (kb::EntityId id : ids) entities.push_back(kb.entity(id));
+    model::EncodeScratch scratch;
+    tensor::Tensor emb;
+    bi.EncodeEntitiesInference(entities, &scratch, &emb);
+    auto status = index.Build(std::move(emb), ids);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("=== Serving benchmark (%zu entities, %zu requests, k=%zu) ===\n\n",
+              scale.num_entities, scale.total_requests, k);
+
+  // ---- Mode 1: single-query, tape forward paths. ---------------------------
+  retrieval::TopKScratch topk_scratch;
+  std::vector<retrieval::ScoredEntity> hits;
+  std::vector<kb::Entity> candidates;
+  std::vector<double> tape_lat;
+  tape_lat.reserve(requests.size());
+  const auto tape_t0 = Clock::now();
+  for (const auto& ex : requests) {
+    const auto q0 = Clock::now();
+    tensor::Tensor q = bi.EmbedMentions({ex});
+    index.TopKInto(q.row_data(0), k, &topk_scratch, &hits);
+    candidates.clear();
+    for (const auto& h : hits) candidates.push_back(kb.entity(h.id));
+    const std::vector<float> scores = cross.Score(ex, candidates);
+    g_sink += scores[0];
+    tape_lat.push_back(MsSince(q0));
+  }
+  const ModeResult tape = Summarize(tape_lat, MsSince(tape_t0));
+  std::printf("[tape_single]      p50 %7.3f ms  p99 %7.3f ms  %8.1f qps\n",
+              tape.p50_ms, tape.p99_ms, tape.qps);
+
+  // ---- Mode 2: single-query, tape-free kernels. ----------------------------
+  model::EncodeScratch encode_scratch;
+  model::CrossScoreScratch cross_scratch;
+  tensor::Tensor q_free;
+  std::vector<float> free_scores;
+  std::vector<double> free_lat;
+  free_lat.reserve(requests.size());
+  const auto free_t0 = Clock::now();
+  for (const auto& ex : requests) {
+    const auto q0 = Clock::now();
+    bi.EncodeMentionsInference({ex}, &encode_scratch, &q_free);
+    index.TopKInto(q_free.row_data(0), k, &topk_scratch, &hits);
+    candidates.clear();
+    for (const auto& h : hits) candidates.push_back(kb.entity(h.id));
+    cross.ScoreInference(ex, candidates, &cross_scratch, &free_scores);
+    g_sink += free_scores[0];
+    free_lat.push_back(MsSince(q0));
+  }
+  const ModeResult tapefree = Summarize(free_lat, MsSince(free_t0));
+  std::printf("[tapefree_single]  p50 %7.3f ms  p99 %7.3f ms  %8.1f qps  (%.2fx)\n",
+              tapefree.p50_ms, tapefree.p99_ms, tapefree.qps,
+              tapefree.qps / tape.qps);
+
+  // ---- Parity: tape vs tape-free scores over the distinct pool. ------------
+  double max_score_diff = 0.0;
+  for (std::size_t i = 0; i < scale.distinct_requests; ++i) {
+    const auto& ex = pool_examples[i];
+    tensor::Tensor qt = bi.EmbedMentions({ex});
+    bi.EncodeMentionsInference({ex}, &encode_scratch, &q_free);
+    for (std::size_t j = 0; j < qt.cols(); ++j) {
+      max_score_diff = std::max<double>(
+          max_score_diff, std::fabs(qt.at(0, j) - q_free.at(0, j)));
+    }
+    index.TopKInto(q_free.row_data(0), k, &topk_scratch, &hits);
+    candidates.clear();
+    for (const auto& h : hits) candidates.push_back(kb.entity(h.id));
+    const std::vector<float> st = cross.Score(ex, candidates);
+    cross.ScoreInference(ex, candidates, &cross_scratch, &free_scores);
+    for (std::size_t c = 0; c < st.size(); ++c) {
+      max_score_diff = std::max<double>(max_score_diff,
+                                        std::fabs(st[c] - free_scores[c]));
+    }
+  }
+  std::printf("[parity]           max |tape - tapefree| = %.2e\n",
+              max_score_diff);
+
+  // ---- Parity: int8 retrieval reproduces the fp32 top-64. ------------------
+  index.Quantize();
+  double int8_overlap = 0.0;
+  {
+    std::vector<retrieval::ScoredEntity> exact, quant;
+    std::size_t agree = 0, total = 0;
+    const std::size_t probes = std::min<std::size_t>(64, index.size());
+    for (std::size_t i = 0; i < scale.distinct_requests; ++i) {
+      bi.EncodeMentionsInference({pool_examples[i]}, &encode_scratch, &q_free);
+      index.TopKInto(q_free.row_data(0), probes, &topk_scratch, &exact);
+      index.TopKQuantizedInto(q_free.row_data(0), probes, 4096, &topk_scratch,
+                              &quant);
+      std::set<kb::EntityId> a, b;
+      for (const auto& e : exact) a.insert(e.id);
+      for (const auto& e : quant) b.insert(e.id);
+      for (kb::EntityId id : a) agree += b.count(id);
+      total += a.size();
+    }
+    int8_overlap = total > 0 ? static_cast<double>(agree) / total : 0.0;
+  }
+  std::printf("[parity]           int8 R@64 overlap vs fp32 = %.4f\n\n",
+              int8_overlap);
+
+  // ---- Mode 3: micro-batching server, concurrent clients. ------------------
+  auto RunServer = [&](bool use_quantized, serve::ServerStats* stats_out)
+      -> ModeResult {
+    serve::ServerOptions sopts;
+    sopts.max_batch = 16;
+    sopts.flush_deadline_us = 500;
+    sopts.retrieve_k = k;
+    sopts.use_quantized = use_quantized;
+    sopts.quantized_pool = 4096;
+    sopts.cache_capacity = 1024;
+    auto server = serve::LinkingServer::Create(&bi, &cross, &kb, "serving",
+                                               sopts);
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+      std::exit(1);
+    }
+    const std::size_t per_thread = requests.size() / scale.client_threads;
+    std::atomic<std::size_t> failures{0};
+    std::vector<std::vector<double>> lat(scale.client_threads);
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < scale.client_threads; ++t) {
+      clients.emplace_back([&, t] {
+        lat[t].reserve(per_thread);
+        for (std::size_t r = 0; r < per_thread; ++r) {
+          const auto& ex = requests[t * per_thread + r];
+          const auto q0 = Clock::now();
+          auto got = (*server)->Link(ex.mention, ex.left_context,
+                                     ex.right_context, 5);
+          if (!got.ok() || got->empty()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          g_sink += (*got)[0].score;
+          lat[t].push_back(MsSince(q0));
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    const double wall_ms = MsSince(t0);
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "%zu server requests failed\n", failures.load());
+      std::exit(1);
+    }
+    std::vector<double> all;
+    for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    *stats_out = (*server)->Stats();
+    return Summarize(all, wall_ms);
+  };
+
+  serve::ServerStats stats, stats_int8;
+  const ModeResult server = RunServer(false, &stats);
+  std::printf("[server_batched]   p50 %7.3f ms  p99 %7.3f ms  %8.1f qps  (%.2fx)\n",
+              server.p50_ms, server.p99_ms, server.qps, server.qps / tape.qps);
+  const ModeResult server_int8 = RunServer(true, &stats_int8);
+  std::printf("[server_int8]      p50 %7.3f ms  p99 %7.3f ms  %8.1f qps  (%.2fx)\n",
+              server_int8.p50_ms, server_int8.p99_ms, server_int8.qps,
+              server_int8.qps / tape.qps);
+  const double cache_hit_rate =
+      stats.cache_hits + stats.cache_misses > 0
+          ? static_cast<double>(stats.cache_hits) /
+                (stats.cache_hits + stats.cache_misses)
+          : 0.0;
+  std::printf("  batches=%llu cache_hit_rate=%.2f encode=%.1fms retrieve=%.1fms "
+              "rerank=%.1fms\n",
+              static_cast<unsigned long long>(stats.batches), cache_hit_rate,
+              stats.encode_ms, stats.retrieve_ms, stats.rerank_ms);
+
+  const double speedup = server.qps / tape.qps;
+  const bool parity_ok = max_score_diff <= 1e-6 && int8_overlap == 1.0;
+  if (smoke) {
+    // The smoke scale is too small for throughput numbers to mean
+    // anything; only the parity gate is enforced (via the exit code).
+    std::printf("\n  smoke parity gate: %s\n", parity_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("\n  acceptance (>= 5x batched tape-free vs tape, parity): %s\n",
+                (speedup >= 5.0 && parity_ok) ? "PASS" : "FAIL");
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"entities\": %zu, \"distinct_requests\": %zu, "
+               "\"total_requests\": %zu, \"retrieve_k\": %zu, "
+               "\"client_threads\": %zu, \"smoke\": %s},\n",
+               scale.num_entities, scale.distinct_requests,
+               scale.total_requests, k, scale.client_threads,
+               smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"tape_single\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+               "\"qps\": %.1f},\n",
+               tape.p50_ms, tape.p99_ms, tape.qps);
+  std::fprintf(f,
+               "  \"tapefree_single\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+               "\"qps\": %.1f},\n",
+               tapefree.p50_ms, tapefree.p99_ms, tapefree.qps);
+  std::fprintf(f,
+               "  \"server_batched\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+               "\"qps\": %.1f, \"batches\": %llu, \"cache_hit_rate\": %.4f, "
+               "\"encode_ms\": %.3f, \"retrieve_ms\": %.3f, "
+               "\"rerank_ms\": %.3f},\n",
+               server.p50_ms, server.p99_ms, server.qps,
+               static_cast<unsigned long long>(stats.batches), cache_hit_rate,
+               stats.encode_ms, stats.retrieve_ms, stats.rerank_ms);
+  std::fprintf(f,
+               "  \"server_batched_int8\": {\"p50_ms\": %.4f, \"p99_ms\": "
+               "%.4f, \"qps\": %.1f},\n",
+               server_int8.p50_ms, server_int8.p99_ms, server_int8.qps);
+  std::fprintf(f,
+               "  \"parity\": {\"max_score_diff\": %.3e, "
+               "\"int8_r64_overlap\": %.6f},\n",
+               max_score_diff, int8_overlap);
+  std::fprintf(f, "  \"speedup_batched_vs_tape\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"meets_5x\": %s,\n",
+               (speedup >= 5.0 && parity_ok) ? "true" : "false");
+  std::fprintf(f, "  \"checksum\": %.6f\n", g_sink);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return (smoke && !parity_ok) ? 1 : 0;
+}

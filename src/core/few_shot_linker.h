@@ -63,9 +63,12 @@ class FewShotLinker {
   std::size_t num_seeds() const { return num_seeds_; }
 
   MetaBlinkPipeline* pipeline() { return &pipeline_; }
+  const MetaBlinkPipeline* pipeline() const { return &pipeline_; }
+  /// The corpus Fit was called with (null before Fit).
+  const data::Corpus* corpus() const { return corpus_; }
 
  private:
-  mutable MetaBlinkPipeline pipeline_;  // Evaluate/Link are logically const
+  MetaBlinkPipeline pipeline_;
   const data::Corpus* corpus_ = nullptr;
   std::string target_domain_;
   bool fitted_ = false;

@@ -199,13 +199,13 @@ util::Status MetaBlinkPipeline::TrainMeta(
 
 util::Result<eval::EvalResult> MetaBlinkPipeline::Evaluate(
     const kb::KnowledgeBase& kb, const std::string& domain,
-    const std::vector<data::LinkingExample>& examples) {
+    const std::vector<data::LinkingExample>& examples) const {
   return evaluator_.Evaluate(*bi_, cross_.get(), kb, domain, examples);
 }
 
 util::Result<std::vector<retrieval::ScoredEntity>> MetaBlinkPipeline::Link(
     const kb::KnowledgeBase& kb, const std::string& domain,
-    const data::LinkingExample& mention, std::size_t top_k) {
+    const data::LinkingExample& mention, std::size_t top_k) const {
   std::vector<data::LinkingExample> one{mention};
   auto candidates = evaluator_.RetrieveCandidates(*bi_, kb, domain, one);
   if (!candidates.ok()) return candidates.status();

@@ -109,21 +109,27 @@ class MetaBlinkPipeline {
 
   // ---- Inference / evaluation ----------------------------------------------
 
-  /// Two-stage evaluation on one domain's examples.
+  /// Two-stage evaluation on one domain's examples. Const and safe to call
+  /// from many threads at once: neither the encoders nor any shared
+  /// scratch is mutated.
   util::Result<eval::EvalResult> Evaluate(
       const kb::KnowledgeBase& kb, const std::string& domain,
-      const std::vector<data::LinkingExample>& examples);
+      const std::vector<data::LinkingExample>& examples) const;
 
   /// Links one mention end-to-end: stage-1 retrieval over the domain, then
-  /// cross-encoder reranking. Returns candidates best-first.
+  /// cross-encoder reranking. Returns candidates best-first. Const and
+  /// thread-safe (see Evaluate). Note this rebuilds the domain index per
+  /// call; serve::LinkingServer amortizes that for repeated queries.
   util::Result<std::vector<retrieval::ScoredEntity>> Link(
       const kb::KnowledgeBase& kb, const std::string& domain,
-      const data::LinkingExample& mention, std::size_t top_k);
+      const data::LinkingExample& mention, std::size_t top_k) const;
 
   // ---- Accessors -----------------------------------------------------------
 
   model::BiEncoder* bi_encoder() { return bi_.get(); }
+  const model::BiEncoder* bi_encoder() const { return bi_.get(); }
   model::CrossEncoder* cross_encoder() { return cross_.get(); }
+  const model::CrossEncoder* cross_encoder() const { return cross_.get(); }
   gen::MentionRewriter* rewriter() { return &rewriter_; }
   const train::MetaTrainResult& last_meta_bi_result() const {
     return last_meta_bi_;

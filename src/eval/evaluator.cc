@@ -12,7 +12,7 @@ util::Result<std::vector<std::vector<retrieval::ScoredEntity>>>
 TwoStageEvaluator::RetrieveCandidates(
     const model::BiEncoder& bi_encoder, const kb::KnowledgeBase& kb,
     const std::string& domain,
-    const std::vector<data::LinkingExample>& examples) {
+    const std::vector<data::LinkingExample>& examples) const {
   const std::vector<kb::EntityId>& ids = kb.EntitiesInDomain(domain);
   if (ids.empty()) {
     return util::Status::NotFound("domain has no entities: " + domain);
@@ -50,7 +50,7 @@ util::Result<EvalResult> TwoStageEvaluator::Evaluate(
     const model::BiEncoder& bi_encoder,
     const model::CrossEncoder* cross_encoder, const kb::KnowledgeBase& kb,
     const std::string& domain,
-    const std::vector<data::LinkingExample>& examples) {
+    const std::vector<data::LinkingExample>& examples) const {
   if (examples.empty()) {
     return util::Status::InvalidArgument("no examples to evaluate");
   }

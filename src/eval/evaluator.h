@@ -34,23 +34,29 @@ class TwoStageEvaluator {
 
   /// Full two-stage evaluation of `examples` (all of one domain) against
   /// the entities of `domain`. Pass a null cross_encoder to rank candidates
-  /// by the stage-1 score instead (bi-encoder-only evaluation).
+  /// by the stage-1 score instead (bi-encoder-only evaluation). Safe to
+  /// call concurrently: all mutable state is per-call, and the shared
+  /// thread pool's scheduling APIs are thread-safe.
   util::Result<EvalResult> Evaluate(
       const model::BiEncoder& bi_encoder,
       const model::CrossEncoder* cross_encoder, const kb::KnowledgeBase& kb,
       const std::string& domain,
-      const std::vector<data::LinkingExample>& examples);
+      const std::vector<data::LinkingExample>& examples) const;
 
   /// Stage-1 only: builds the domain index and returns per-example
   /// candidate lists (used by cross-encoder training to mine candidates).
+  /// Safe to call concurrently (see Evaluate).
   util::Result<std::vector<std::vector<retrieval::ScoredEntity>>>
   RetrieveCandidates(const model::BiEncoder& bi_encoder,
                      const kb::KnowledgeBase& kb, const std::string& domain,
-                     const std::vector<data::LinkingExample>& examples);
+                     const std::vector<data::LinkingExample>& examples) const;
 
  private:
   EvaluatorOptions options_;
-  util::ThreadPool pool_;
+  // The pool's Submit/ParallelFor* entry points are internally
+  // synchronized; mutable lets the logically-const evaluation paths share
+  // one pool across concurrent callers.
+  mutable util::ThreadPool pool_;
 };
 
 /// The Name Matching baseline (Riedel et al.): a mention links to the

@@ -1,7 +1,11 @@
 #include "model/bi_encoder.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "tensor/kernels.h"
+#include "util/logging.h"
 #include "util/serialize.h"
 
 namespace metablink::model {
@@ -84,6 +88,70 @@ tensor::Tensor BiEncoder::EmbedMentions(
   tensor::Graph graph;
   tensor::Var v = EncodeMentions(&graph, examples);
   return graph.value(v);
+}
+
+void BiEncoder::EncodeBagsInference(std::size_t n,
+                                    const tensor::Parameter& table,
+                                    const tensor::Parameter& proj,
+                                    EncodeScratch* scratch,
+                                    tensor::Tensor* out) const {
+  const std::size_t d = config_.dim;
+  METABLINK_CHECK(scratch->bags.size() >= n) << "not enough featurized bags";
+  // Mean-pool the embedding bags — the same ascending-id Axpy accumulation
+  // as Graph::EmbeddingBagMean's forward gather.
+  scratch->hidden.Resize(n, d);
+  for (std::size_t b = 0; b < n; ++b) {
+    const auto& bag = scratch->bags[b];
+    if (bag.empty()) continue;
+    const float inv = 1.0f / static_cast<float>(bag.size());
+    float* dst = scratch->hidden.row_data(b);
+    for (std::uint32_t id : bag) {
+      METABLINK_CHECK(id < table.value.rows()) << "embedding id out of range";
+      tensor::Axpy(inv, table.value.row_data(id), dst, d);
+    }
+  }
+  for (float& v : scratch->hidden.data()) v = std::tanh(v);
+  // Projection through the same serial blocked kernel Graph::MatMul uses.
+  out->Resize(n, d);
+  tensor::GemmRaw(scratch->hidden.data().data(), proj.value.data().data(),
+                  out->data().data(), n, d, d);
+  // Row L2 normalization, identical formula to Graph::RowL2Normalize
+  // (norm floored at the same epsilon).
+  constexpr float kEps = 1e-8f;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = out->row_data(i);
+    const float n2 = tensor::Dot(row, row, d);
+    const float inv = 1.0f / std::max(std::sqrt(n2), kEps);
+    for (std::size_t c = 0; c < d; ++c) row[c] *= inv;
+  }
+}
+
+void BiEncoder::EncodeMentionsInference(
+    const std::vector<data::LinkingExample>& examples, EncodeScratch* scratch,
+    tensor::Tensor* out) const {
+  const std::size_t n = examples.size();
+  if (scratch->bags.size() < n) scratch->bags.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    featurizer_.MentionBagInto(examples[i], &scratch->bags[i]);
+  }
+  EncodeBagsInference(n, *mention_table_, *mention_proj_, scratch, out);
+}
+
+void BiEncoder::EncodeEntitiesInference(
+    const std::vector<kb::Entity>& entities, EncodeScratch* scratch,
+    tensor::Tensor* out) const {
+  const std::size_t n = entities.size();
+  if (scratch->bags.size() < n) scratch->bags.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    featurizer_.EntityBagInto(entities[i], &scratch->bags[i]);
+  }
+  EncodeBagsInference(n, *entity_table_, *entity_proj_, scratch, out);
+}
+
+void BiEncoder::EncodeMentionBagsInference(std::size_t n,
+                                           EncodeScratch* scratch,
+                                           tensor::Tensor* out) const {
+  EncodeBagsInference(n, *mention_table_, *mention_proj_, scratch, out);
 }
 
 util::Status BiEncoder::SaveToFile(const std::string& path) const {

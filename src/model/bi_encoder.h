@@ -22,6 +22,14 @@ struct BiEncoderConfig {
   std::size_t dim = 64;
 };
 
+/// Caller-owned scratch for the tape-free encode path. Reusing one scratch
+/// across calls makes the numeric path (gather + tanh + GEMM + normalize)
+/// allocation-free after warm-up; buffers only ever grow.
+struct EncodeScratch {
+  std::vector<std::vector<std::uint32_t>> bags;
+  tensor::Tensor hidden;  // [n, dim] pooled bag, tanh'd in place
+};
+
 /// BLINK-style bi-encoder: two independent towers (ENCODER^m, ENCODER^e of
 /// eq. 3-4) embed mentions-with-context and entities-with-description into a
 /// shared d-dimensional space; the match score (eq. 5) is the dot product of
@@ -59,6 +67,31 @@ class BiEncoder {
   tensor::Tensor EmbedMentions(
       const std::vector<data::LinkingExample>& examples) const;
 
+  // ---- Tape-free serving path --------------------------------------------
+  //
+  // The Encode*Inference methods run the identical forward computation as
+  // the Graph path (EmbeddingBag mean gather -> tanh -> projection GEMM ->
+  // row L2 normalize) directly through tensor::kernels: zero Graph nodes,
+  // no tape metadata, and no allocations after warm-up when `scratch` and
+  // `*out` are reused. Results are bit-identical to EmbedMentions /
+  // EmbedEntityIds (same kernels, same accumulation order).
+
+  /// Encodes mentions into `*out` ([examples.size(), dim] unit rows).
+  void EncodeMentionsInference(
+      const std::vector<data::LinkingExample>& examples,
+      EncodeScratch* scratch, tensor::Tensor* out) const;
+
+  /// Encodes entities into `*out` ([entities.size(), dim] unit rows).
+  void EncodeEntitiesInference(const std::vector<kb::Entity>& entities,
+                               EncodeScratch* scratch,
+                               tensor::Tensor* out) const;
+
+  /// Encodes pre-featurized bags through the mention tower. `n` rows of
+  /// `scratch->bags` are consumed; lets callers (e.g. the feature cache)
+  /// featurize separately from encoding.
+  void EncodeMentionBagsInference(std::size_t n, EncodeScratch* scratch,
+                                  tensor::Tensor* out) const;
+
   tensor::ParameterStore* params() { return &params_; }
   const tensor::ParameterStore* params() const { return &params_; }
   const Featurizer& featurizer() const { return featurizer_; }
@@ -73,6 +106,11 @@ class BiEncoder {
                          std::vector<std::vector<std::uint32_t>> bags,
                          tensor::Parameter* table, tensor::Parameter* proj,
                          tensor::Parameter* bias) const;
+
+  /// Tape-free tower forward over the first `n` bags in `scratch->bags`.
+  void EncodeBagsInference(std::size_t n, const tensor::Parameter& table,
+                           const tensor::Parameter& proj,
+                           EncodeScratch* scratch, tensor::Tensor* out) const;
 
   BiEncoderConfig config_;
   Featurizer featurizer_;

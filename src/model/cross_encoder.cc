@@ -1,5 +1,9 @@
 #include "model/cross_encoder.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 
@@ -70,6 +74,165 @@ std::vector<float> CrossEncoder::Score(
     out[i] = graph.value(scores).at(i, 0);
   }
   return out;
+}
+
+void CrossEncoder::ScoreInference(const data::LinkingExample& example,
+                                  const std::vector<kb::Entity>& candidates,
+                                  CrossScoreScratch* scratch,
+                                  std::vector<float>* out) const {
+  METABLINK_CHECK(!candidates.empty()) << "no candidates to score";
+  const std::size_t c = candidates.size();
+  const std::size_t d = config_.dim;
+  const std::size_t in = 3 * d + kNumOverlapFeatures;
+
+  // Mention tower: mean-pooled bag + tanh, computed once (the Graph path
+  // broadcasts the single encoded row).
+  featurizer_.MentionBagInto(example, &scratch->mention_bag);
+  scratch->mention_vec.assign(d, 0.0f);
+  if (!scratch->mention_bag.empty()) {
+    const float inv =
+        1.0f / static_cast<float>(scratch->mention_bag.size());
+    for (std::uint32_t id : scratch->mention_bag) {
+      METABLINK_CHECK(id < table_->value.rows()) << "embedding id out of range";
+      tensor::Axpy(inv, table_->value.row_data(id),
+                   scratch->mention_vec.data(), d);
+    }
+  }
+  for (float& v : scratch->mention_vec) v = std::tanh(v);
+
+  // Entity tower: same gather + tanh per candidate row.
+  if (scratch->entity_bags.size() < c) scratch->entity_bags.resize(c);
+  scratch->entity_vec.Resize(c, d);
+  for (std::size_t i = 0; i < c; ++i) {
+    featurizer_.EntityBagInto(candidates[i], &scratch->entity_bags[i]);
+    const auto& bag = scratch->entity_bags[i];
+    if (bag.empty()) continue;
+    const float inv = 1.0f / static_cast<float>(bag.size());
+    float* dst = scratch->entity_vec.row_data(i);
+    for (std::uint32_t id : bag) {
+      METABLINK_CHECK(id < table_->value.rows()) << "embedding id out of range";
+      tensor::Axpy(inv, table_->value.row_data(id), dst, d);
+    }
+  }
+  for (float& v : scratch->entity_vec.data()) v = std::tanh(v);
+
+  // Joint row: [m, e, m*e, overlaps] — the ConcatCols layout of the tape.
+  scratch->input.Resize(c, in);
+  for (std::size_t i = 0; i < c; ++i) {
+    float* row = scratch->input.row_data(i);
+    const float* m = scratch->mention_vec.data();
+    const float* e = scratch->entity_vec.row_data(i);
+    std::copy(m, m + d, row);
+    std::copy(e, e + d, row + d);
+    for (std::size_t j = 0; j < d; ++j) row[2 * d + j] = m[j] * e[j];
+    featurizer_.OverlapFeaturesInto(example, candidates[i], row + 3 * d);
+  }
+
+  // Scoring MLP through the same serial blocked GEMM as Graph::MatMul.
+  scratch->hidden.Resize(c, config_.hidden);
+  tensor::GemmRaw(scratch->input.data().data(), w1_->value.data().data(),
+                  scratch->hidden.data().data(), c, in, config_.hidden);
+  for (std::size_t i = 0; i < c; ++i) {
+    float* row = scratch->hidden.row_data(i);
+    for (std::size_t j = 0; j < config_.hidden; ++j) {
+      row[j] = std::tanh(row[j] + b1_->value.at(0, j));
+    }
+  }
+  scratch->score.Resize(c, 1);
+  tensor::GemmRaw(scratch->hidden.data().data(), w2_->value.data().data(),
+                  scratch->score.data().data(), c, config_.hidden, 1);
+  out->clear();
+  out->reserve(c);
+  const float b2 = b2_->value.at(0, 0);
+  for (std::size_t i = 0; i < c; ++i) {
+    out->push_back(scratch->score.at(i, 0) + b2);
+  }
+}
+
+void CrossEncoder::PrecomputeEntities(const std::vector<kb::Entity>& entities,
+                                      CrossEntityCache* out) const {
+  const std::size_t n = entities.size();
+  const std::size_t d = config_.dim;
+  out->entity_vec.Resize(n, d);
+  out->tokens.resize(n);
+  std::vector<std::uint32_t> bag;
+  for (std::size_t i = 0; i < n; ++i) {
+    featurizer_.EntityBagInto(entities[i], &bag);
+    if (!bag.empty()) {
+      const float inv = 1.0f / static_cast<float>(bag.size());
+      float* dst = out->entity_vec.row_data(i);
+      for (std::uint32_t id : bag) {
+        METABLINK_CHECK(id < table_->value.rows())
+            << "embedding id out of range";
+        tensor::Axpy(inv, table_->value.row_data(id), dst, d);
+      }
+    }
+    featurizer_.PrecomputeEntityTokens(entities[i], &out->tokens[i]);
+  }
+  for (float& v : out->entity_vec.data()) v = std::tanh(v);
+}
+
+void CrossEncoder::ScoreCachedInference(const data::LinkingExample& example,
+                                        const std::vector<std::size_t>& rows,
+                                        const CrossEntityCache& cache,
+                                        CrossScoreScratch* scratch,
+                                        std::vector<float>* out) const {
+  METABLINK_CHECK(!rows.empty()) << "no candidates to score";
+  const std::size_t c = rows.size();
+  const std::size_t d = config_.dim;
+  const std::size_t in = 3 * d + kNumOverlapFeatures;
+
+  // Mention tower: identical to ScoreInference.
+  featurizer_.MentionBagInto(example, &scratch->mention_bag);
+  scratch->mention_vec.assign(d, 0.0f);
+  if (!scratch->mention_bag.empty()) {
+    const float inv =
+        1.0f / static_cast<float>(scratch->mention_bag.size());
+    for (std::uint32_t id : scratch->mention_bag) {
+      METABLINK_CHECK(id < table_->value.rows()) << "embedding id out of range";
+      tensor::Axpy(inv, table_->value.row_data(id),
+                   scratch->mention_vec.data(), d);
+    }
+  }
+  for (float& v : scratch->mention_vec) v = std::tanh(v);
+
+  // Mention-side overlap tokens, once per request instead of per pair.
+  featurizer_.PrecomputeMentionTokens(example, &scratch->mention_tokens);
+
+  // Joint rows pull the entity tower straight from the cache.
+  scratch->input.Resize(c, in);
+  for (std::size_t i = 0; i < c; ++i) {
+    const std::size_t r = rows[i];
+    METABLINK_CHECK(r < cache.entity_vec.rows()) << "cache row out of range";
+    float* row = scratch->input.row_data(i);
+    const float* m = scratch->mention_vec.data();
+    const float* e = cache.entity_vec.row_data(r);
+    std::copy(m, m + d, row);
+    std::copy(e, e + d, row + d);
+    for (std::size_t j = 0; j < d; ++j) row[2 * d + j] = m[j] * e[j];
+    featurizer_.OverlapFeaturesCached(scratch->mention_tokens,
+                                      cache.tokens[r], row + 3 * d);
+  }
+
+  // Same scoring MLP as ScoreInference.
+  scratch->hidden.Resize(c, config_.hidden);
+  tensor::GemmRaw(scratch->input.data().data(), w1_->value.data().data(),
+                  scratch->hidden.data().data(), c, in, config_.hidden);
+  for (std::size_t i = 0; i < c; ++i) {
+    float* row = scratch->hidden.row_data(i);
+    for (std::size_t j = 0; j < config_.hidden; ++j) {
+      row[j] = std::tanh(row[j] + b1_->value.at(0, j));
+    }
+  }
+  scratch->score.Resize(c, 1);
+  tensor::GemmRaw(scratch->hidden.data().data(), w2_->value.data().data(),
+                  scratch->score.data().data(), c, config_.hidden, 1);
+  out->clear();
+  out->reserve(c);
+  const float b2 = b2_->value.at(0, 0);
+  for (std::size_t i = 0; i < c; ++i) {
+    out->push_back(scratch->score.at(i, 0) + b2);
+  }
 }
 
 util::Status CrossEncoder::SaveToFile(const std::string& path) const {

@@ -23,6 +23,28 @@ struct CrossEncoderConfig {
   std::size_t hidden = 64;
 };
 
+/// Caller-owned scratch for ScoreInference. Reused across calls, the
+/// numeric path is allocation-free after warm-up.
+struct CrossScoreScratch {
+  std::vector<std::uint32_t> mention_bag;
+  std::vector<std::vector<std::uint32_t>> entity_bags;
+  std::vector<float> mention_vec;  // [dim] pooled + tanh'd mention tower
+  tensor::Tensor entity_vec;       // [c, dim] pooled + tanh'd entities
+  tensor::Tensor input;            // [c, 3*dim + kNumOverlapFeatures]
+  tensor::Tensor hidden;           // [c, hidden]
+  tensor::Tensor score;            // [c, 1]
+  MentionTokens mention_tokens;    // used by ScoreCachedInference only
+};
+
+/// Everything about a fixed entity set that candidate scoring reuses:
+/// the pooled + tanh'd entity-tower rows and the precomputed overlap
+/// tokens. Built once per served domain (PrecomputeEntities); row i of
+/// `entity_vec` / `tokens` corresponds to entity i of the input list.
+struct CrossEntityCache {
+  tensor::Tensor entity_vec;  // [n, dim]
+  std::vector<CachedEntityTokens> tokens;
+};
+
 /// BLINK-style cross-encoder: stage-2 ranker that jointly reads the mention
 /// (with context) and a candidate entity (with description) and outputs a
 /// relevance score. Where BLINK concatenates the texts into one BERT pass,
@@ -48,6 +70,31 @@ class CrossEncoder {
   /// Inference scores for the candidates (no gradients kept).
   std::vector<float> Score(const data::LinkingExample& example,
                            const std::vector<kb::Entity>& candidates) const;
+
+  /// Tape-free inference: the identical forward computation as
+  /// ScoreCandidates run directly through tensor::kernels — zero Graph
+  /// nodes, and allocation-free after warm-up when `scratch` and `*out`
+  /// are reused. Appends candidate scores to `*out` after clearing it.
+  /// Results are bit-identical to Score().
+  void ScoreInference(const data::LinkingExample& example,
+                      const std::vector<kb::Entity>& candidates,
+                      CrossScoreScratch* scratch,
+                      std::vector<float>* out) const;
+
+  /// Builds the reusable entity-side cache for a fixed entity set (a
+  /// served domain's KB slice).
+  void PrecomputeEntities(const std::vector<kb::Entity>& entities,
+                          CrossEntityCache* out) const;
+
+  /// ScoreInference against cache rows instead of raw entities: candidate
+  /// i is row `rows[i]` of `cache`. The per-candidate tokenization,
+  /// hashing, and embedding-bag gather all disappear; scores are
+  /// bit-identical to ScoreInference / Score on the same entities.
+  void ScoreCachedInference(const data::LinkingExample& example,
+                            const std::vector<std::size_t>& rows,
+                            const CrossEntityCache& cache,
+                            CrossScoreScratch* scratch,
+                            std::vector<float>* out) const;
 
   tensor::ParameterStore* params() { return &params_; }
   const tensor::ParameterStore* params() const { return &params_; }

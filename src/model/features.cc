@@ -1,5 +1,6 @@
 #include "model/features.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "text/string_metrics.h"
@@ -20,6 +21,20 @@ float FractionIn(const std::vector<std::string>& tokens,
   }
   return static_cast<float>(hits) / static_cast<float>(tokens.size());
 }
+
+/// text::TokenJaccard on prebuilt sets: identical intersection/union
+/// counts, so identical doubles.
+double SetJaccard(const std::unordered_set<std::string>& sa,
+                  const std::unordered_set<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t) > 0) ++inter;
+  }
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
 }  // namespace
 
 Featurizer::Featurizer(FeatureConfig config) : hasher_(config.hasher) {}
@@ -27,23 +42,42 @@ Featurizer::Featurizer(FeatureConfig config) : hasher_(config.hasher) {}
 std::vector<std::uint32_t> Featurizer::MentionBag(
     const data::LinkingExample& example) const {
   std::vector<std::uint32_t> bag;
-  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.mention),
-                             kFieldMention, &bag);
-  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.left_context),
-                             kFieldContext, &bag);
-  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.right_context),
-                             kFieldContext, &bag);
+  MentionBagInto(example, &bag);
   return bag;
 }
 
 std::vector<std::uint32_t> Featurizer::EntityBag(
     const kb::Entity& entity) const {
   std::vector<std::uint32_t> bag;
-  hasher_.AppendHashedTokens(tokenizer_.Tokenize(entity.title), kFieldTitle,
-                             &bag);
-  hasher_.AppendHashedTokens(tokenizer_.Tokenize(entity.description),
-                             kFieldDescription, &bag);
+  EntityBagInto(entity, &bag);
   return bag;
+}
+
+void Featurizer::MentionBagInto(const data::LinkingExample& example,
+                                std::vector<std::uint32_t>* out) const {
+  out->clear();
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.mention),
+                             kFieldMention, out);
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.left_context),
+                             kFieldContext, out);
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(example.right_context),
+                             kFieldContext, out);
+}
+
+void Featurizer::EntityBagInto(const kb::Entity& entity,
+                               std::vector<std::uint32_t>* out) const {
+  out->clear();
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(entity.title), kFieldTitle,
+                             out);
+  hasher_.AppendHashedTokens(tokenizer_.Tokenize(entity.description),
+                             kFieldDescription, out);
+}
+
+void Featurizer::OverlapFeaturesInto(const data::LinkingExample& example,
+                                     const kb::Entity& entity,
+                                     float* out) const {
+  const std::vector<float> feats = OverlapFeatures(example, entity);
+  std::copy(feats.begin(), feats.end(), out);
 }
 
 std::vector<float> Featurizer::OverlapFeatures(
@@ -71,6 +105,58 @@ std::vector<float> Featurizer::OverlapFeatures(
   feats[4] = FractionIn(mention_tokens, desc_set);
   feats[5] = FractionIn(context_tokens, desc_set);
   return feats;
+}
+
+void Featurizer::PrecomputeEntityTokens(const kb::Entity& entity,
+                                        CachedEntityTokens* out) const {
+  out->title_set = ToSet(tokenizer_.Tokenize(entity.title));
+  out->desc_set = ToSet(tokenizer_.Tokenize(entity.description));
+  out->norm_title = text::NormalizeForMatch(entity.title);
+  std::string phrase;
+  out->norm_base =
+      text::NormalizeForMatch(text::StripDisambiguation(entity.title,
+                                                        &phrase));
+  out->has_phrase = !phrase.empty();
+}
+
+void Featurizer::PrecomputeMentionTokens(const data::LinkingExample& example,
+                                         MentionTokens* out) const {
+  out->mention_tokens = tokenizer_.Tokenize(example.mention);
+  out->context_tokens = tokenizer_.Tokenize(example.left_context);
+  for (auto& t : tokenizer_.Tokenize(example.right_context)) {
+    out->context_tokens.push_back(std::move(t));
+  }
+  out->mention_set = ToSet(out->mention_tokens);
+  out->context_set = ToSet(out->context_tokens);
+  out->norm_mention = text::NormalizeForMatch(example.mention);
+}
+
+void Featurizer::OverlapFeaturesCached(const MentionTokens& mention,
+                                       const CachedEntityTokens& entity,
+                                       float* out) const {
+  // The category branches mirror text::ClassifyOverlap on the cached
+  // normalized forms.
+  const std::string& m = mention.norm_mention;
+  text::OverlapCategory category = text::OverlapCategory::kLowOverlap;
+  if (m == entity.norm_title && !m.empty()) {
+    category = text::OverlapCategory::kHighOverlap;
+  } else if (entity.has_phrase && m == entity.norm_base && !m.empty()) {
+    category = text::OverlapCategory::kMultipleCategories;
+  } else if (!m.empty() &&
+             entity.norm_title.find(m) != std::string::npos) {
+    category = text::OverlapCategory::kAmbiguousSubstring;
+  }
+  out[0] = category == text::OverlapCategory::kHighOverlap ? 1.0f : 0.0f;
+  out[1] = (category == text::OverlapCategory::kAmbiguousSubstring ||
+            category == text::OverlapCategory::kMultipleCategories)
+               ? 1.0f
+               : 0.0f;
+  out[2] = static_cast<float>(SetJaccard(mention.mention_set,
+                                         entity.title_set));
+  out[3] = static_cast<float>(SetJaccard(mention.context_set,
+                                         entity.desc_set));
+  out[4] = FractionIn(mention.mention_tokens, entity.desc_set);
+  out[5] = FractionIn(mention.context_tokens, entity.desc_set);
 }
 
 }  // namespace metablink::model

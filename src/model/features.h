@@ -2,6 +2,8 @@
 #define METABLINK_MODEL_FEATURES_H_
 
 #include <cstdint>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "data/example.h"
@@ -28,6 +30,29 @@ struct FeatureConfig {
   text::FeatureHasherOptions hasher;
 };
 
+/// Entity-side text work that does not depend on the mention, precomputed
+/// once per entity for the serving path: tokenized + set-ified title and
+/// description (for jaccard/coverage features) and the match-normalized
+/// title forms (for the overlap category).
+struct CachedEntityTokens {
+  std::unordered_set<std::string> title_set;
+  std::unordered_set<std::string> desc_set;
+  std::string norm_title;
+  /// Normalized title with its trailing "(...)" phrase stripped; only
+  /// meaningful when has_phrase.
+  std::string norm_base;
+  bool has_phrase = false;
+};
+
+/// Mention-side text work shared by every candidate of one request.
+struct MentionTokens {
+  std::vector<std::string> mention_tokens;
+  std::vector<std::string> context_tokens;
+  std::unordered_set<std::string> mention_set;
+  std::unordered_set<std::string> context_set;
+  std::string norm_mention;
+};
+
 /// Converts examples and entities into hashed feature bags — the input
 /// representation of both encoders (the stand-in for BERT's tokenizer +
 /// embedding layer; see DESIGN.md §1).
@@ -43,6 +68,29 @@ class Featurizer {
   /// Entity-side bag: title tokens (kFieldTitle) + description tokens
   /// (kFieldDescription). This is ENCODER^e's input (eq. 4).
   std::vector<std::uint32_t> EntityBag(const kb::Entity& entity) const;
+
+  /// Buffer-reusing variants for the tape-free serving path: clear `*out`
+  /// and refill it, keeping its capacity across calls.
+  void MentionBagInto(const data::LinkingExample& example,
+                      std::vector<std::uint32_t>* out) const;
+  void EntityBagInto(const kb::Entity& entity,
+                     std::vector<std::uint32_t>* out) const;
+
+  /// Writes the kNumOverlapFeatures dense features into `out[0..5]`.
+  void OverlapFeaturesInto(const data::LinkingExample& example,
+                           const kb::Entity& entity, float* out) const;
+
+  /// Precomputed-overlap serving path. OverlapFeaturesCached produces
+  /// exactly the values of OverlapFeatures() with the entity-side
+  /// tokenization, normalization, and set construction hoisted out of the
+  /// per-(mention, candidate) loop.
+  void PrecomputeEntityTokens(const kb::Entity& entity,
+                              CachedEntityTokens* out) const;
+  void PrecomputeMentionTokens(const data::LinkingExample& example,
+                               MentionTokens* out) const;
+  void OverlapFeaturesCached(const MentionTokens& mention,
+                             const CachedEntityTokens& entity,
+                             float* out) const;
 
   /// Dense lexical-interaction features for the cross-encoder:
   /// [mention==title, mention substring-of title, jaccard(mention, title),

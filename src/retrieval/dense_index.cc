@@ -1,8 +1,10 @@
 #include "retrieval/dense_index.h"
 
 #include <algorithm>
+#include <cmath>
 
-#include "tensor/kernels.h"
+#include "util/logging.h"
+#include "util/serialize.h"
 #include "util/string_util.h"
 
 namespace metablink::retrieval {
@@ -20,8 +22,32 @@ bool Better(const ScoredEntity& a, const ScoredEntity& b) {
 // Entities scored per tile; 512 rows of a 128-dim float matrix is 256 KiB,
 // sized to stay L2-resident while a query block streams over it.
 constexpr std::size_t kEntityBlock = 512;
-// Queries per tile in BatchTopK.
-constexpr std::size_t kQueryBlock = 8;
+// Queries per tile in BatchTopK. 16 query rows of d=128 floats are 8 KiB —
+// small enough to stay L1-resident while the entity panel streams past,
+// and twice the panel reuse of the previous 8-query tile.
+constexpr std::size_t kQueryBlock = 16;
+
+// Assigns tile[i*en + j] = <queries row i, entities row j> for a qn×en
+// tile. Unlike the accumulate-style GemmTransposeBRaw this writes each
+// element exactly once, so the caller never pre-zeroes the tile — that
+// round-trip (zero-fill then read-modify-write) is what made the blocked
+// batch path slower than the naive per-query loop for small query counts.
+void ScoreTile(const float* queries, const float* entities, float* tile,
+               std::size_t qn, std::size_t d, std::size_t en) {
+  constexpr std::size_t kPanel = 64;  // entity rows per L1-resident panel
+  for (std::size_t jb = 0; jb < en; jb += kPanel) {
+    const std::size_t je = std::min(en, jb + kPanel);
+    for (std::size_t i = 0; i < qn; ++i) {
+      const float* q = queries + i * d;
+      float* trow = tile + i * en;
+      for (std::size_t j = jb; j < je; ++j) {
+        trow[j] = tensor::Dot(q, entities + j * d, d);
+      }
+    }
+  }
+}
+
+constexpr std::uint32_t kIndexTag = 0x44584e49u;  // "INXD"
 
 }  // namespace
 
@@ -37,6 +63,8 @@ util::Status DenseIndex::Build(tensor::Tensor embeddings,
   }
   embeddings_ = std::move(embeddings);
   ids_ = std::move(ids);
+  q_rows_.clear();
+  q_scales_.clear();
   return util::Status::OK();
 }
 
@@ -101,24 +129,30 @@ std::vector<std::vector<ScoredEntity>> DenseIndex::BatchTopK(
   const std::size_t nq = queries.rows();
   std::vector<std::vector<ScoredEntity>> out(nq);
   if (nq == 0) return out;
+  const std::size_t kk = std::min(k, ids_.size());
+  if (nq == 1) {
+    // A 1-row tile has no cross-query panel reuse to exploit; the direct
+    // single-query path skips the tile entirely.
+    TopKScratch scratch;
+    TopKInto(queries.row_data(0), kk, &scratch, &out[0]);
+    return out;
+  }
   const std::size_t d = embeddings_.cols();
   const std::size_t total = ids_.size();
-  const std::size_t kk = std::min(k, total);
   const std::size_t nblocks = (nq + kQueryBlock - 1) / kQueryBlock;
 
-  // One query×entity score tile per block, computed as a small transposed
-  // GEMM so each entity panel is read once per query block instead of once
-  // per query.
+  // One query×entity score tile per block: each entity panel is read once
+  // per query block instead of once per query, and the tile is written by
+  // assignment (never zero-filled).
   auto process_block = [&](std::size_t q0, std::vector<TopKScratch>& scr,
                            std::vector<float>& tile) {
     const std::size_t qn = std::min(kQueryBlock, nq - q0);
     for (std::size_t qi = 0; qi < qn; ++qi) scr[qi].heap.clear();
     for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
       const std::size_t en = std::min(kEntityBlock, total - e0);
-      tile.assign(qn * en, 0.0f);
-      tensor::GemmTransposeBRaw(queries.row_data(q0),
-                                embeddings_.row_data(e0), tile.data(), qn,
-                                d, en);
+      tile.resize(qn * en);
+      ScoreTile(queries.row_data(q0), embeddings_.row_data(e0), tile.data(),
+                qn, d, en);
       for (std::size_t qi = 0; qi < qn; ++qi) {
         OfferBlock(tile.data() + qi * en, e0, en, kk, &scr[qi]);
       }
@@ -146,6 +180,165 @@ std::vector<std::vector<ScoredEntity>> DenseIndex::BatchTopK(
     }
   }
   return out;
+}
+
+void DenseIndex::Quantize() {
+  const std::size_t n = ids_.size();
+  const std::size_t d = embeddings_.cols();
+  q_rows_.assign(n * d, 0);
+  q_scales_.assign(n, 0.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = embeddings_.row_data(r);
+    float max_abs = 0.0f;
+    for (std::size_t j = 0; j < d; ++j) {
+      max_abs = std::max(max_abs, std::fabs(row[j]));
+    }
+    if (max_abs == 0.0f) continue;  // all-zero row quantizes to zeros
+    const float scale = max_abs / 127.0f;
+    q_scales_[r] = scale;
+    const float inv = 1.0f / scale;
+    std::int8_t* qrow = q_rows_.data() + r * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float q = std::nearbyint(row[j] * inv);
+      qrow[j] = static_cast<std::int8_t>(
+          std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+}
+
+void DenseIndex::TopKQuantizedInto(const float* query, std::size_t k,
+                                   std::size_t pool_size,
+                                   TopKScratch* scratch,
+                                   std::vector<ScoredEntity>* out) const {
+  METABLINK_CHECK(quantized()) << "call Quantize() before TopKQuantizedInto";
+  out->clear();
+  const std::size_t total = ids_.size();
+  const std::size_t d = embeddings_.cols();
+  k = std::min(k, total);
+  if (k == 0) return;
+  pool_size = std::clamp(pool_size, k, total);
+
+  // Symmetric per-query quantization, same scheme as the rows.
+  float qmax = 0.0f;
+  for (std::size_t j = 0; j < d; ++j) {
+    qmax = std::max(qmax, std::fabs(query[j]));
+  }
+  const float qscale = qmax / 127.0f;
+  scratch->qquery.resize(d);
+  if (qmax == 0.0f) {
+    std::fill(scratch->qquery.begin(), scratch->qquery.end(),
+              static_cast<std::int8_t>(0));
+  } else {
+    const float inv = 1.0f / qscale;
+    for (std::size_t j = 0; j < d; ++j) {
+      scratch->qquery[j] = static_cast<std::int8_t>(
+          std::clamp(std::nearbyint(query[j] * inv), -127.0f, 127.0f));
+    }
+  }
+
+  // Phase 1: integer scan. Approximate scores select a candidate pool of
+  // row POSITIONS (so phase 2 can address the fp32 rows directly) via the
+  // same bounded-heap selection the fp32 path uses.
+  scratch->heap.clear();
+  scratch->scores.resize(std::min(kEntityBlock, total));
+  const std::int8_t* qq = scratch->qquery.data();
+  std::vector<ScoredEntity>& pool = scratch->pool;
+  pool.clear();
+  for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
+    const std::size_t count = std::min(kEntityBlock, total - e0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::int8_t* row = q_rows_.data() + (e0 + i) * d;
+      std::int32_t acc = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        acc += static_cast<std::int32_t>(qq[j]) * row[j];
+      }
+      const float approx =
+          static_cast<float>(acc) * qscale * q_scales_[e0 + i];
+      // Same bounded-heap policy as OfferBlock, keyed by position.
+      const ScoredEntity cand{static_cast<kb::EntityId>(e0 + i), approx};
+      if (pool.size() < pool_size) {
+        pool.push_back(cand);
+        std::push_heap(pool.begin(), pool.end(), Better);
+      } else if (Better(cand, pool.front())) {
+        std::pop_heap(pool.begin(), pool.end(), Better);
+        pool.back() = cand;
+        std::push_heap(pool.begin(), pool.end(), Better);
+      }
+    }
+  }
+
+  // Phase 2: exact fp32 re-score of the surviving positions, then final
+  // top-k selection — the returned scores carry no quantization error.
+  scratch->heap.clear();
+  scratch->scores.resize(1);
+  for (const ScoredEntity& cand : pool) {
+    const std::size_t position = cand.id;
+    scratch->scores[0] =
+        tensor::Dot(query, embeddings_.row_data(position), d);
+    OfferBlock(scratch->scores.data(), position, 1, k, scratch);
+  }
+  DrainHeap(scratch, out);
+}
+
+void DenseIndex::Save(util::BinaryWriter* writer) const {
+  writer->WriteU32(kIndexTag);
+  writer->WriteU64(ids_.size());
+  writer->WriteU64(embeddings_.cols());
+  writer->WriteU32Vector(ids_);
+  writer->WriteFloatVector(embeddings_.data());
+  writer->WriteU32(quantized() ? 1u : 0u);
+  if (quantized()) {
+    writer->WriteByteVector(q_rows_);
+    writer->WriteFloatVector(q_scales_);
+  }
+}
+
+util::Status DenseIndex::Load(util::BinaryReader* reader) {
+  std::uint32_t tag = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
+  if (tag != kIndexTag) {
+    return util::Status::InvalidArgument("not a DenseIndex snapshot");
+  }
+  std::uint64_t n = 0, d = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&n));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&d));
+  std::vector<kb::EntityId> ids;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32Vector(&ids));
+  std::vector<float> flat;
+  METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&flat));
+  if (ids.size() != n || flat.size() != n * d || n == 0) {
+    return util::Status::InvalidArgument("corrupt DenseIndex snapshot");
+  }
+  std::uint32_t has_quant = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&has_quant));
+  std::vector<std::int8_t> q_rows;
+  std::vector<float> q_scales;
+  if (has_quant != 0) {
+    METABLINK_RETURN_IF_ERROR(reader->ReadByteVector(&q_rows));
+    METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&q_scales));
+    if (q_rows.size() != n * d || q_scales.size() != n) {
+      return util::Status::InvalidArgument(
+          "corrupt DenseIndex quantized payload");
+    }
+  }
+  embeddings_ = tensor::Tensor(static_cast<std::size_t>(n),
+                               static_cast<std::size_t>(d), std::move(flat));
+  ids_ = std::move(ids);
+  q_rows_ = std::move(q_rows);
+  q_scales_ = std::move(q_scales);
+  return util::Status::OK();
+}
+
+util::Status DenseIndex::SaveToFile(const std::string& path) const {
+  util::BinaryWriter writer;
+  Save(&writer);
+  return writer.WriteToFile(path);
+}
+
+util::Status DenseIndex::LoadFromFile(const std::string& path) {
+  auto reader = util::BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  return Load(&*reader);
 }
 
 }  // namespace metablink::retrieval

@@ -2,12 +2,19 @@
 #define METABLINK_RETRIEVAL_DENSE_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "kb/entity.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+
+namespace metablink::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace metablink::util
 
 namespace metablink::retrieval {
 
@@ -24,6 +31,10 @@ struct TopKScratch {
   std::vector<ScoredEntity> heap;
   /// Blocked score tile used by BatchTopK.
   std::vector<float> scores;
+  /// Symmetric-quantized query (int8 path).
+  std::vector<std::int8_t> qquery;
+  /// Candidate pool surviving the int8 scan, before exact re-scoring.
+  std::vector<ScoredEntity> pool;
 };
 
 /// Exact top-k dense retrieval over an entity embedding matrix (stage 1 of
@@ -34,12 +45,17 @@ struct TopKScratch {
 /// score materialization or partial_sort), batch scoring is blocked
 /// query×entity GEMM tiles for cache locality, and queries parallelize
 /// over an optional thread pool.
+///
+/// An optional int8 symmetric-quantized form (Quantize) serves the same
+/// queries at 4× memory bandwidth savings: the full scan runs on integer
+/// dot products, then a bounded candidate pool is exactly re-scored in
+/// fp32, so the final top-k comes from true fp32 scores.
 class DenseIndex {
  public:
   DenseIndex() = default;
 
   /// Builds the index. `embeddings` row i is the vector of `ids[i]`.
-  /// Pre: embeddings.rows() == ids.size().
+  /// Pre: embeddings.rows() == ids.size(). Drops any previous int8 form.
   util::Status Build(tensor::Tensor embeddings, std::vector<kb::EntityId> ids);
 
   std::size_t size() const { return ids_.size(); }
@@ -61,6 +77,32 @@ class DenseIndex {
       const tensor::Tensor& queries, std::size_t k,
       util::ThreadPool* pool = nullptr) const;
 
+  // ---- Int8 symmetric quantization ---------------------------------------
+
+  /// Builds the per-row symmetric int8 form: q[r][j] = round(x[r][j] / s_r)
+  /// with s_r = max_j |x[r][j]| / 127. Idempotent; rebuilt by Build.
+  void Quantize();
+  bool quantized() const { return !q_rows_.empty(); }
+
+  /// Top-k via the int8 scan: every entity is scored with an integer dot
+  /// product, the best `pool_size` survivors (clamped to [k, size()]) are
+  /// exactly re-scored in fp32, and the final top-k is selected from those
+  /// fp32 scores — identical output to TopKInto whenever the true top-k
+  /// survives the quantized scan (guaranteed when pool_size == size()).
+  /// Pre: Quantize() was called.
+  void TopKQuantizedInto(const float* query, std::size_t k,
+                         std::size_t pool_size, TopKScratch* scratch,
+                         std::vector<ScoredEntity>* out) const;
+
+  // ---- Persistence --------------------------------------------------------
+
+  /// Serializes the index (fp32 rows, ids, and the int8 form if built), so
+  /// a served KB reloads without re-encoding entities.
+  void Save(util::BinaryWriter* writer) const;
+  util::Status Load(util::BinaryReader* reader);
+  util::Status SaveToFile(const std::string& path) const;
+  util::Status LoadFromFile(const std::string& path);
+
   /// The raw stored embedding row for position `i` (test/diagnostic use).
   const float* EmbeddingAt(std::size_t i) const {
     return embeddings_.row_data(i);
@@ -78,6 +120,10 @@ class DenseIndex {
 
   tensor::Tensor embeddings_;
   std::vector<kb::EntityId> ids_;
+  /// Int8 rows, row-major [size, dim]; empty until Quantize().
+  std::vector<std::int8_t> q_rows_;
+  /// Per-row dequantization scales.
+  std::vector<float> q_scales_;
 };
 
 }  // namespace metablink::retrieval

@@ -1,0 +1,355 @@
+#include "serve/linking_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace metablink::serve {
+
+namespace {
+
+/// Cache key for one (mention, context) request. '\x1f' (unit separator)
+/// cannot appear in tokenized text, so the key is collision-free.
+std::string CacheKey(const data::LinkingExample& ex) {
+  std::string key;
+  key.reserve(ex.mention.size() + ex.left_context.size() +
+              ex.right_context.size() + 2);
+  key += ex.mention;
+  key += '\x1f';
+  key += ex.left_context;
+  key += '\x1f';
+  key += ex.right_context;
+  return key;
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<LinkingServer>> LinkingServer::Create(
+    const model::BiEncoder* bi, const model::CrossEncoder* cross,
+    const kb::KnowledgeBase* kb, const std::string& domain,
+    ServerOptions options) {
+  if (bi == nullptr || cross == nullptr || kb == nullptr) {
+    return util::Status::InvalidArgument("null component passed to server");
+  }
+  options.max_batch = std::max<std::size_t>(1, options.max_batch);
+  options.retrieve_k = std::max<std::size_t>(1, options.retrieve_k);
+  std::unique_ptr<LinkingServer> server(
+      new LinkingServer(bi, cross, kb, domain, std::move(options)));
+  METABLINK_RETURN_IF_ERROR(server->BuildIndex());
+  server->scheduler_ = std::thread(&LinkingServer::SchedulerLoop, server.get());
+  return server;
+}
+
+util::Result<std::unique_ptr<LinkingServer>> LinkingServer::FromLinker(
+    const core::FewShotLinker& linker, ServerOptions options) {
+  if (!linker.fitted()) {
+    return util::Status::FailedPrecondition(
+        "call FewShotLinker::Fit before serving it");
+  }
+  const core::MetaBlinkPipeline* pipeline = linker.pipeline();
+  return Create(pipeline->bi_encoder(), pipeline->cross_encoder(),
+                &linker.corpus()->kb, linker.target_domain(),
+                std::move(options));
+}
+
+LinkingServer::LinkingServer(const model::BiEncoder* bi,
+                             const model::CrossEncoder* cross,
+                             const kb::KnowledgeBase* kb, std::string domain,
+                             ServerOptions options)
+    : bi_(bi),
+      cross_(cross),
+      kb_(kb),
+      domain_(std::move(domain)),
+      options_(options) {}
+
+LinkingServer::~LinkingServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+util::Status LinkingServer::BuildIndex() {
+  const std::vector<kb::EntityId>& ids = kb_->EntitiesInDomain(domain_);
+  if (ids.empty()) {
+    return util::Status::NotFound("domain has no entities: " + domain_);
+  }
+  const std::size_t d = bi_->dim();
+  tensor::Tensor all(ids.size(), d);
+  // Chunked so the encode scratch stays small.
+  const std::size_t chunk = 256;
+  std::vector<kb::Entity> part;
+  std::vector<kb::Entity> entities;
+  entities.reserve(ids.size());
+  for (std::size_t begin = 0; begin < ids.size(); begin += chunk) {
+    const std::size_t end = std::min(ids.size(), begin + chunk);
+    part.clear();
+    part.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      part.push_back(kb_->entity(ids[i]));
+    }
+    bi_->EncodeEntitiesInference(part, &encode_scratch_, &encoded_);
+    for (std::size_t r = 0; r < encoded_.rows(); ++r) {
+      std::copy(encoded_.row_data(r), encoded_.row_data(r) + d,
+                all.row_data(begin + r));
+      entities.push_back(part[r]);
+    }
+  }
+  METABLINK_RETURN_IF_ERROR(index_.Build(std::move(all), ids));
+  if (options_.use_quantized) index_.Quantize();
+  // Entity-side rerank work, hoisted out of the serving loop.
+  cross_->PrecomputeEntities(entities, &cross_cache_);
+  entity_pos_.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) entity_pos_[ids[i]] = i;
+  return util::Status::OK();
+}
+
+util::Result<std::vector<core::LinkPrediction>> LinkingServer::Link(
+    const std::string& mention, const std::string& left_context,
+    const std::string& right_context, std::size_t top_k) {
+  Request req;
+  req.example.mention = mention;
+  req.example.left_context = left_context;
+  req.example.right_context = right_context;
+  req.example.domain = domain_;
+  req.top_k = top_k;
+  req.enqueued = Clock::now();
+  auto future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return util::Status::FailedPrecondition("server is shutting down");
+    }
+    queue_.push_back(std::move(req));
+  }
+  queue_cv_.notify_all();
+  return future.get();
+}
+
+void LinkingServer::SchedulerLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ with nothing left to drain
+    // Let the batch fill until the oldest request's deadline. On stop,
+    // flush immediately so pending requests still complete.
+    const auto deadline =
+        queue_.front().enqueued +
+        std::chrono::microseconds(options_.flush_deadline_us);
+    while (!stop_ && queue_.size() < options_.max_batch) {
+      if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    std::vector<Request> batch;
+    const std::size_t n = std::min(queue_.size(), options_.max_batch);
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    ServeBatch(&batch);
+  }
+}
+
+void LinkingServer::ServeBatch(std::vector<Request>* batch) {
+  const std::size_t m = batch->size();
+  const std::size_t d = bi_->dim();
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+  // ---- Stage 1: batched mention encode (tape-free), LRU-deduplicated.
+  // A cache hit restores both the mention embedding and its retrieved
+  // top-k (each a pure function of the request text and the fixed index),
+  // so hits skip stage 2 entirely.
+  const auto t0 = Clock::now();
+  queries_.Resize(m, d);
+  batch_hits_.resize(m);
+  miss_idx_.clear();
+  keys_.clear();
+  keys_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (options_.cache_capacity > 0) {
+      keys_[i] = CacheKey((*batch)[i].example);
+      if (CacheLookup(keys_[i], queries_.row_data(i), &batch_hits_[i])) {
+        ++hits;
+        continue;
+      }
+      ++misses;
+    }
+    miss_idx_.push_back(i);
+  }
+  if (!miss_idx_.empty()) {
+    if (encode_scratch_.bags.size() < miss_idx_.size()) {
+      encode_scratch_.bags.resize(miss_idx_.size());
+    }
+    for (std::size_t j = 0; j < miss_idx_.size(); ++j) {
+      bi_->featurizer().MentionBagInto((*batch)[miss_idx_[j]].example,
+                                       &encode_scratch_.bags[j]);
+    }
+    bi_->EncodeMentionBagsInference(miss_idx_.size(), &encode_scratch_,
+                                    &encoded_);
+    for (std::size_t j = 0; j < miss_idx_.size(); ++j) {
+      const std::size_t i = miss_idx_[j];
+      std::copy(encoded_.row_data(j), encoded_.row_data(j) + d,
+                queries_.row_data(i));
+    }
+  }
+
+  // ---- Stage 2: top-k retrieval against the prebuilt domain index for
+  // the cache misses, parallel across queries (each query's top-k is
+  // independent, so the parallel results are identical to serial).
+  const auto t1 = Clock::now();
+  const std::size_t k = options_.retrieve_k;
+  if (topk_scratch_.size() < std::max<std::size_t>(1, pool_.num_threads())) {
+    topk_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
+  }
+  if (!miss_idx_.empty()) {
+    pool_.ParallelForChunks(
+        miss_idx_.size(), 0,
+        [this, k](std::size_t chunk, std::size_t begin, std::size_t end) {
+          for (std::size_t j = begin; j < end; ++j) {
+            const std::size_t i = miss_idx_[j];
+            if (options_.use_quantized) {
+              index_.TopKQuantizedInto(queries_.row_data(i), k,
+                                       options_.quantized_pool,
+                                       &topk_scratch_[chunk],
+                                       &batch_hits_[i]);
+            } else {
+              index_.TopKInto(queries_.row_data(i), k, &topk_scratch_[chunk],
+                              &batch_hits_[i]);
+            }
+          }
+        });
+    if (options_.cache_capacity > 0) {
+      for (std::size_t i : miss_idx_) {
+        CacheInsert(keys_[i], queries_.row_data(i), batch_hits_[i]);
+      }
+    }
+  }
+
+  // ---- Stage 3: cross-encoder re-rank, parallel across requests with
+  // per-chunk scratch. Outcomes are held back and promises fulfilled only
+  // after the stats update below, so a caller that returns from Link()
+  // and immediately reads Stats() always sees its own batch counted.
+  const auto t2 = Clock::now();
+  std::vector<double> batch_latencies(m, 0.0);
+  std::vector<util::Result<std::vector<core::LinkPrediction>>> outcomes(
+      m, util::Status::NotFound("no candidates retrieved"));
+  if (rerank_scratch_.size() < std::max<std::size_t>(1, pool_.num_threads())) {
+    rerank_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
+  }
+  pool_.ParallelForChunks(
+      m, 0, [this, batch, &batch_latencies, &outcomes](
+                std::size_t chunk, std::size_t begin, std::size_t end) {
+        RerankScratch& scratch = rerank_scratch_[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          Request& req = (*batch)[i];
+          std::vector<retrieval::ScoredEntity>& cands = batch_hits_[i];
+          if (cands.empty()) continue;  // keep the NotFound outcome
+          scratch.rows.clear();
+          scratch.rows.reserve(cands.size());
+          for (const auto& c : cands) {
+            scratch.rows.push_back(entity_pos_.at(c.id));
+          }
+          cross_->ScoreCachedInference(req.example, scratch.rows,
+                                       cross_cache_, &scratch.cross,
+                                       &scratch.scores);
+          for (std::size_t c = 0; c < cands.size(); ++c) {
+            cands[c].score = scratch.scores[c];
+          }
+          std::sort(cands.begin(), cands.end(),
+                    [](const retrieval::ScoredEntity& a,
+                       const retrieval::ScoredEntity& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+          if (cands.size() > req.top_k) cands.resize(req.top_k);
+          std::vector<core::LinkPrediction> predictions;
+          predictions.reserve(cands.size());
+          for (const auto& c : cands) {
+            core::LinkPrediction p;
+            p.entity_id = c.id;
+            p.title = kb_->entity(c.id).title;
+            p.score = c.score;
+            predictions.push_back(std::move(p));
+          }
+          const auto done = Clock::now();
+          batch_latencies[i] =
+              std::chrono::duration<double, std::milli>(done - req.enqueued)
+                  .count();
+          outcomes[i] = std::move(predictions);
+        }
+      });
+  const auto t3 = Clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.requests += m;
+    stats_.batches += 1;
+    stats_.cache_hits += hits;
+    stats_.cache_misses += misses;
+    stats_.encode_ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats_.retrieve_ms +=
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    stats_.rerank_ms +=
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (outcomes[i].ok()) latencies_ms_.push_back(batch_latencies[i]);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    (*batch)[i].promise.set_value(std::move(outcomes[i]));
+  }
+}
+
+bool LinkingServer::CacheLookup(
+    const std::string& key, float* vec_out,
+    std::vector<retrieval::ScoredEntity>* hits_out) {
+  auto it = lru_map_.find(key);
+  if (it == lru_map_.end()) return false;
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  const CachedFeature& feature = it->second->second;
+  std::copy(feature.vec.begin(), feature.vec.end(), vec_out);
+  *hits_out = feature.hits;
+  return true;
+}
+
+void LinkingServer::CacheInsert(
+    const std::string& key, const float* vec,
+    const std::vector<retrieval::ScoredEntity>& hits) {
+  if (options_.cache_capacity == 0) return;
+  auto it = lru_map_.find(key);
+  if (it != lru_map_.end()) {
+    // Duplicate miss within one batch: refresh, keep the existing entry.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  CachedFeature feature;
+  feature.vec.assign(vec, vec + bi_->dim());
+  feature.hits = hits;
+  lru_.emplace_front(key, std::move(feature));
+  lru_map_[key] = lru_.begin();
+  while (lru_.size() > options_.cache_capacity) {
+    lru_map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+ServerStats LinkingServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::vector<double> LinkingServer::LatenciesMs() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return latencies_ms_;
+}
+
+}  // namespace metablink::serve

@@ -1,0 +1,204 @@
+#ifndef METABLINK_SERVE_LINKING_SERVER_H_
+#define METABLINK_SERVE_LINKING_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/few_shot_linker.h"
+#include "kb/knowledge_base.h"
+#include "model/bi_encoder.h"
+#include "model/cross_encoder.h"
+#include "retrieval/dense_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metablink::serve {
+
+/// Knobs for the micro-batching request scheduler.
+struct ServerOptions {
+  /// Flush a batch as soon as this many requests are pending.
+  std::size_t max_batch = 16;
+  /// ... or as soon as the oldest pending request has waited this long.
+  std::uint64_t flush_deadline_us = 500;
+  /// Stage-1 candidates per request (paper: 64).
+  std::size_t retrieve_k = 64;
+  /// Serve retrieval from the int8 form of the index.
+  bool use_quantized = false;
+  /// Candidate-pool width for the int8 scan before exact fp32 re-scoring.
+  std::size_t quantized_pool = 4096;
+  /// LRU entries for repeated (mention, context) requests; 0 disables.
+  /// Each entry holds the mention embedding and its retrieved top-k (both
+  /// pure functions of the request text and the fixed index), so a hit
+  /// skips encode + retrieval. Re-ranking always runs.
+  std::size_t cache_capacity = 1024;
+};
+
+/// Monotonic serving counters, snapshotted by Stats(). Stage times are
+/// cumulative wall-clock over all flushed batches.
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double encode_ms = 0.0;
+  double retrieve_ms = 0.0;
+  double rerank_ms = 0.0;
+};
+
+/// Production-style serving front-end for a fitted MetaBLINK system.
+///
+/// Concurrent callers block in Link() while a single scheduler thread
+/// coalesces their requests into bounded-latency micro-batches: a batch is
+/// flushed when it reaches `max_batch` requests or when the oldest request
+/// has waited `flush_deadline_us`, whichever comes first. Each flush runs
+/// the tape-free pipeline — batched mention encode (BiEncoder::
+/// EncodeMentionBagsInference) over the cache misses, top-k retrieval
+/// against a domain index built once at construction, and cross-encoder
+/// re-ranking (CrossEncoder::ScoreCachedInference against an entity-side
+/// cache also built at construction) — so steady-state serving does no
+/// Graph construction, no per-request index rebuild, no per-candidate
+/// entity tokenization, and no allocations beyond request bookkeeping.
+///
+/// Scores are identical to MetaBlinkPipeline::Link: the tape-free kernels
+/// are bit-compatible with the tape path, and the int8 retrieval option
+/// re-scores its candidate pool in fp32.
+class LinkingServer {
+ public:
+  /// Builds a server over raw components. `bi`, `cross`, and `kb` must
+  /// outlive the server; `domain` must have entities in `kb`. The domain
+  /// index is built (and optionally quantized) here.
+  static util::Result<std::unique_ptr<LinkingServer>> Create(
+      const model::BiEncoder* bi, const model::CrossEncoder* cross,
+      const kb::KnowledgeBase* kb, const std::string& domain,
+      ServerOptions options = {});
+
+  /// Convenience: serves a fitted FewShotLinker's target domain. The linker
+  /// must outlive the server.
+  static util::Result<std::unique_ptr<LinkingServer>> FromLinker(
+      const core::FewShotLinker& linker, ServerOptions options = {});
+
+  /// Drains pending requests (they complete normally), then stops the
+  /// scheduler thread.
+  ~LinkingServer();
+
+  LinkingServer(const LinkingServer&) = delete;
+  LinkingServer& operator=(const LinkingServer&) = delete;
+
+  /// Links one mention, blocking until its batch is served. Thread-safe:
+  /// any number of threads may call concurrently; concurrency is what
+  /// creates batching opportunities. Returns up to `top_k` predictions,
+  /// best first.
+  util::Result<std::vector<core::LinkPrediction>> Link(
+      const std::string& mention, const std::string& left_context,
+      const std::string& right_context, std::size_t top_k = 5);
+
+  /// Snapshot of the cumulative serving counters.
+  ServerStats Stats() const;
+
+  /// Per-request latencies (enqueue to completion, ms) in completion
+  /// order; the caller computes percentiles.
+  std::vector<double> LatenciesMs() const;
+
+  const ServerOptions& options() const { return options_; }
+  std::size_t index_size() const { return index_.size(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    data::LinkingExample example;
+    std::size_t top_k = 0;
+    Clock::time_point enqueued;
+    std::promise<util::Result<std::vector<core::LinkPrediction>>> promise;
+  };
+
+  LinkingServer(const model::BiEncoder* bi, const model::CrossEncoder* cross,
+                const kb::KnowledgeBase* kb, std::string domain,
+                ServerOptions options);
+
+  /// Embeds the domain's entities, builds (+ quantizes) the index, and
+  /// precomputes the cross-encoder entity cache.
+  util::Status BuildIndex();
+
+  void SchedulerLoop();
+  void ServeBatch(std::vector<Request>* batch);
+
+  struct CachedFeature {
+    std::vector<float> vec;                      // mention embedding [dim]
+    std::vector<retrieval::ScoredEntity> hits;   // its retrieved top-k
+  };
+
+  /// LRU lookup; on hit copies the cached embedding into `vec_out` and the
+  /// cached retrieval into `*hits_out`.
+  bool CacheLookup(const std::string& key, float* vec_out,
+                   std::vector<retrieval::ScoredEntity>* hits_out);
+  void CacheInsert(const std::string& key, const float* vec,
+                   const std::vector<retrieval::ScoredEntity>& hits);
+
+  const model::BiEncoder* bi_;
+  const model::CrossEncoder* cross_;
+  const kb::KnowledgeBase* kb_;
+  std::string domain_;
+  ServerOptions options_;
+
+  retrieval::DenseIndex index_;
+
+  // Entity-side rerank cache: pooled cross-encoder entity rows + overlap
+  // tokens, plus the id -> cache-row map. Built once in BuildIndex.
+  model::CrossEntityCache cross_cache_;
+  std::unordered_map<kb::EntityId, std::size_t> entity_pos_;
+
+  // Request queue, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  std::thread scheduler_;
+
+  // Scheduler-thread-only scratch (never touched by callers). The
+  // per-chunk vectors back the pool-parallel retrieve/rerank stages: chunk
+  // ids from ParallelForChunks are dense, so chunk i owns element i.
+  model::EncodeScratch encode_scratch_;
+  tensor::Tensor encoded_;
+  tensor::Tensor queries_;
+  std::vector<std::vector<retrieval::ScoredEntity>> batch_hits_;
+  std::vector<retrieval::TopKScratch> topk_scratch_;
+  struct RerankScratch {
+    model::CrossScoreScratch cross;
+    std::vector<float> scores;
+    std::vector<std::size_t> rows;
+  };
+  std::vector<RerankScratch> rerank_scratch_;
+  std::vector<std::size_t> miss_idx_;
+  std::vector<std::string> keys_;
+
+  /// Worker pool for the batch-parallel retrieve and rerank stages; only
+  /// the scheduler thread dispatches onto it.
+  util::ThreadPool pool_;
+
+  // Feature LRU: key -> list node of (key, feature). Scheduler-thread-only.
+  std::list<std::pair<std::string, CachedFeature>> lru_;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, CachedFeature>>::iterator>
+      lru_map_;
+
+  // Stats, guarded by stats_mu_ (written by the scheduler, read anywhere).
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace metablink::serve
+
+#endif  // METABLINK_SERVE_LINKING_SERVER_H_

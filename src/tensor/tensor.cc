@@ -22,6 +22,13 @@ void Tensor::SetZero() {
   std::fill(data_.begin(), data_.end(), 0.0f);
 }
 
+void Tensor::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // assign() reuses the existing heap block when it is large enough.
+  data_.assign(rows * cols, 0.0f);
+}
+
 float Tensor::Norm() const {
   double acc = 0.0;
   for (float v : data_) acc += static_cast<double>(v) * v;

@@ -48,6 +48,11 @@ class Tensor {
   /// Sets every element to zero (keeps the shape).
   void SetZero();
 
+  /// Reshapes to [rows, cols] and zero-fills. Reuses the existing
+  /// allocation when capacity suffices, so scratch tensors resized to the
+  /// same (or smaller) shape stop allocating after warm-up.
+  void Resize(std::size_t rows, std::size_t cols);
+
   /// Frobenius norm.
   float Norm() const;
 

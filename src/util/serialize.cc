@@ -37,6 +37,12 @@ void BinaryWriter::WriteU32Vector(const std::vector<std::uint32_t>& v) {
   buffer_.insert(buffer_.end(), p, p + v.size() * sizeof(std::uint32_t));
 }
 
+void BinaryWriter::WriteByteVector(const std::vector<std::int8_t>& v) {
+  WriteU64(v.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  buffer_.insert(buffer_.end(), p, p + v.size());
+}
+
 Status BinaryWriter::WriteToFile(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -118,6 +124,16 @@ Status BinaryReader::ReadU32Vector(std::vector<std::uint32_t>* out) {
   }
   out->resize(static_cast<std::size_t>(n));
   return ReadRaw(out->data(), out->size() * sizeof(std::uint32_t));
+}
+
+Status BinaryReader::ReadByteVector(std::vector<std::int8_t>* out) {
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(ReadU64(&n));
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("truncated byte vector");
+  }
+  out->resize(static_cast<std::size_t>(n));
+  return ReadRaw(out->data(), out->size());
 }
 
 }  // namespace metablink::util

@@ -22,6 +22,8 @@ class BinaryWriter {
   void WriteString(const std::string& s);
   void WriteFloatVector(const std::vector<float>& v);
   void WriteU32Vector(const std::vector<std::uint32_t>& v);
+  /// Length-prefixed raw byte blob (int8 index payloads, packed structs).
+  void WriteByteVector(const std::vector<std::int8_t>& v);
 
   const std::vector<std::uint8_t>& buffer() const { return buffer_; }
   std::vector<std::uint8_t> TakeBuffer() { return std::move(buffer_); }
@@ -51,6 +53,7 @@ class BinaryReader {
   Status ReadString(std::string* out);
   Status ReadFloatVector(std::vector<float>* out);
   Status ReadU32Vector(std::vector<std::uint32_t>* out);
+  Status ReadByteVector(std::vector<std::int8_t>* out);
 
   /// True when all bytes have been consumed.
   bool AtEnd() const { return pos_ == data_.size(); }

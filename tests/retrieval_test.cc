@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <set>
 
 #include "retrieval/dense_index.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace metablink::retrieval {
 namespace {
@@ -103,6 +106,124 @@ TEST(DenseIndexTest, BatchTopKMatchesSingle) {
     auto single = index.TopK(queries.row_data(i), 5);
     EXPECT_EQ(batched[i][0].id, single[0].id);
   }
+}
+
+TEST(DenseIndexTest, QuantizedFullPoolMatchesExact) {
+  // With pool_size == size(), every entity survives the int8 scan, the
+  // final top-k is selected from true fp32 scores, and the result must be
+  // identical (ids AND scores) to the exact path.
+  const std::size_t n = 500, d = 16;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(n, d, 11), Iota(n)).ok());
+  EXPECT_FALSE(index.quantized());
+  index.Quantize();
+  ASSERT_TRUE(index.quantized());
+
+  util::Rng rng(12);
+  TopKScratch scratch;
+  std::vector<ScoredEntity> exact, quant;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    index.TopKInto(q.data(), 10, &scratch, &exact);
+    index.TopKQuantizedInto(q.data(), 10, n, &scratch, &quant);
+    ASSERT_EQ(exact.size(), quant.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(exact[i].id, quant[i].id);
+      EXPECT_EQ(exact[i].score, quant[i].score);  // bit-identical fp32
+    }
+  }
+}
+
+TEST(DenseIndexTest, QuantizedRecallAt64MatchesExact) {
+  // The serving configuration: k=64 out of a 4x-larger pool. The int8
+  // scan only has to land the true top-64 inside the top-256 pool, which
+  // symmetric per-row int8 achieves on random data; R@64 must not move.
+  const std::size_t n = 2000, d = 32;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(n, d, 13), Iota(n)).ok());
+  index.Quantize();
+
+  util::Rng rng(14);
+  TopKScratch scratch;
+  std::vector<ScoredEntity> exact, quant;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    index.TopKInto(q.data(), 64, &scratch, &exact);
+    index.TopKQuantizedInto(q.data(), 64, 256, &scratch, &quant);
+    std::set<kb::EntityId> exact_ids, quant_ids;
+    for (const auto& e : exact) exact_ids.insert(e.id);
+    for (const auto& e : quant) quant_ids.insert(e.id);
+    EXPECT_EQ(exact_ids, quant_ids);
+  }
+}
+
+TEST(DenseIndexTest, QuantizeHandlesZeroRows) {
+  tensor::Tensor emb(3, 4);
+  emb.at(1, 2) = 0.5f;  // rows 0 and 2 stay all-zero
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(emb, Iota(3)).ok());
+  index.Quantize();
+  float q[4] = {0, 0, 1, 0};
+  TopKScratch scratch;
+  std::vector<ScoredEntity> out;
+  index.TopKQuantizedInto(q, 3, 3, &scratch, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_FLOAT_EQ(out[0].score, 0.5f);
+}
+
+TEST(DenseIndexTest, SaveLoadRoundTrip) {
+  const std::size_t n = 64, d = 8;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(n, d, 21), Iota(n)).ok());
+  index.Quantize();
+  const std::string path = "/tmp/metablink_dense_index_test.bin";
+  ASSERT_TRUE(index.SaveToFile(path).ok());
+
+  DenseIndex restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(restored.size(), n);
+  EXPECT_EQ(restored.dim(), d);
+  EXPECT_TRUE(restored.quantized());
+
+  util::Rng rng(22);
+  TopKScratch scratch;
+  std::vector<ScoredEntity> a, b;
+  std::vector<float> q(d);
+  for (float& v : q) v = rng.NextFloat(-1, 1);
+  index.TopKInto(q.data(), 9, &scratch, &a);
+  restored.TopKInto(q.data(), 9, &scratch, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+  // The int8 form round-trips too.
+  index.TopKQuantizedInto(q.data(), 9, 32, &scratch, &a);
+  restored.TopKQuantizedInto(q.data(), 9, 32, &scratch, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(DenseIndexTest, SaveLoadWithoutQuantizedForm) {
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(10, 4, 23), Iota(10)).ok());
+  util::BinaryWriter writer;
+  index.Save(&writer);
+  util::BinaryReader reader(writer.TakeBuffer());
+  DenseIndex restored;
+  ASSERT_TRUE(restored.Load(&reader).ok());
+  EXPECT_FALSE(restored.quantized());
+  EXPECT_EQ(restored.size(), 10u);
+}
+
+TEST(DenseIndexTest, LoadRejectsGarbage) {
+  util::BinaryReader reader(std::vector<std::uint8_t>{1, 2, 3, 4});
+  DenseIndex index;
+  EXPECT_FALSE(index.Load(&reader).ok());
 }
 
 }  // namespace

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/few_shot_linker.h"
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "serve/linking_server.h"
+
+namespace metablink::serve {
+namespace {
+
+core::PipelineConfig TestConfig() {
+  core::PipelineConfig config;
+  config.seed = 4242;
+  config.bi.features.hasher.num_buckets = 4096;
+  config.bi.dim = 32;
+  config.cross.features.hasher.num_buckets = 4096;
+  config.cross.dim = 32;
+  config.cross.hidden = 32;
+  config.meta_bi.steps = 80;
+  config.meta_cross.steps = 30;
+  config.eval.k = 16;
+  config.eval.num_threads = 2;
+  return config;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions opts;
+    opts.seed = 77;
+    opts.shared_vocab_size = 400;
+    opts.domain_vocab_size = 200;
+    data::ZeshelLikeGenerator gen(opts);
+    std::vector<data::DomainSpec> specs(2);
+    specs[0].name = "source";
+    specs[0].num_entities = 80;
+    specs[0].num_examples = 200;
+    specs[1].name = "target";
+    specs[1].num_entities = 120;
+    specs[1].num_examples = 240;
+    specs[1].num_documents = 200;
+    specs[1].gap = 0.5;
+    corpus_ = std::make_unique<data::Corpus>(std::move(*gen.Generate(specs)));
+    split_ = data::MakeFewShotSplit(corpus_->ExamplesIn("target"), 40, 40, 3);
+    // Randomly initialized (untrained) encoders: parity and serving-path
+    // behavior do not depend on trained weights.
+    pipeline_ = std::make_unique<core::MetaBlinkPipeline>(TestConfig());
+  }
+
+  std::unique_ptr<data::Corpus> corpus_;
+  data::DomainSplit split_;
+  std::unique_ptr<core::MetaBlinkPipeline> pipeline_;
+};
+
+// ---- Tape vs tape-free parity ----------------------------------------------
+
+TEST_F(ServeTest, TapeFreeMentionEncodeMatchesTape) {
+  const model::BiEncoder* bi = pipeline_->bi_encoder();
+  const std::vector<data::LinkingExample> batch(split_.test.begin(),
+                                                split_.test.begin() + 20);
+  tensor::Tensor tape = bi->EmbedMentions(batch);
+  model::EncodeScratch scratch;
+  tensor::Tensor free;
+  bi->EncodeMentionsInference(batch, &scratch, &free);
+  ASSERT_EQ(free.rows(), tape.rows());
+  ASSERT_EQ(free.cols(), tape.cols());
+  for (std::size_t i = 0; i < tape.rows(); ++i) {
+    for (std::size_t j = 0; j < tape.cols(); ++j) {
+      EXPECT_EQ(tape.at(i, j), free.at(i, j))
+          << "mention row " << i << " col " << j;
+    }
+  }
+  // Scratch reuse across differently-sized batches stays correct.
+  const std::vector<data::LinkingExample> one(split_.test.begin(),
+                                              split_.test.begin() + 1);
+  tensor::Tensor tape1 = bi->EmbedMentions(one);
+  bi->EncodeMentionsInference(one, &scratch, &free);
+  ASSERT_EQ(free.rows(), 1u);
+  for (std::size_t j = 0; j < tape1.cols(); ++j) {
+    EXPECT_EQ(tape1.at(0, j), free.at(0, j));
+  }
+}
+
+TEST_F(ServeTest, TapeFreeEntityEncodeMatchesTape) {
+  const model::BiEncoder* bi = pipeline_->bi_encoder();
+  const auto& ids = corpus_->kb.EntitiesInDomain("target");
+  std::vector<kb::EntityId> some(ids.begin(), ids.begin() + 30);
+  tensor::Tensor tape = bi->EmbedEntityIds(some, corpus_->kb);
+  std::vector<kb::Entity> entities;
+  for (kb::EntityId id : some) entities.push_back(corpus_->kb.entity(id));
+  model::EncodeScratch scratch;
+  tensor::Tensor free;
+  bi->EncodeEntitiesInference(entities, &scratch, &free);
+  ASSERT_EQ(free.rows(), tape.rows());
+  for (std::size_t i = 0; i < tape.rows(); ++i) {
+    for (std::size_t j = 0; j < tape.cols(); ++j) {
+      EXPECT_EQ(tape.at(i, j), free.at(i, j));
+    }
+  }
+}
+
+TEST_F(ServeTest, TapeFreeCrossScoreMatchesTape) {
+  const model::CrossEncoder* cross = pipeline_->cross_encoder();
+  const auto& ids = corpus_->kb.EntitiesInDomain("target");
+  std::vector<kb::Entity> candidates;
+  for (std::size_t i = 0; i < 16; ++i) {
+    candidates.push_back(corpus_->kb.entity(ids[i]));
+  }
+  model::CrossScoreScratch scratch;
+  std::vector<float> free_scores;
+  for (std::size_t e = 0; e < 10; ++e) {
+    const auto& ex = split_.test[e];
+    const std::vector<float> tape_scores = cross->Score(ex, candidates);
+    cross->ScoreInference(ex, candidates, &scratch, &free_scores);
+    ASSERT_EQ(free_scores.size(), tape_scores.size());
+    for (std::size_t c = 0; c < tape_scores.size(); ++c) {
+      EXPECT_EQ(tape_scores[c], free_scores[c]) << "example " << e
+                                                << " candidate " << c;
+    }
+  }
+}
+
+// ---- LinkingServer ---------------------------------------------------------
+
+TEST_F(ServeTest, ServerMatchesPipelineLink) {
+  ServerOptions opts;
+  opts.retrieve_k = 16;  // same stage-1 k as the pipeline's eval config
+  auto server =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "target", opts);
+  ASSERT_TRUE(server.ok());
+  for (std::size_t e = 0; e < 5; ++e) {
+    const auto& ex = split_.test[e];
+    auto got = (*server)->Link(ex.mention, ex.left_context, ex.right_context,
+                               /*top_k=*/5);
+    ASSERT_TRUE(got.ok());
+    data::LinkingExample probe = ex;
+    probe.entity_id = kb::kInvalidEntityId;
+    auto want = pipeline_->Link(corpus_->kb, "target", probe, 5);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (std::size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].entity_id, (*want)[i].id);
+      EXPECT_NEAR((*got)[i].score, (*want)[i].score, 1e-6);
+    }
+  }
+}
+
+TEST_F(ServeTest, QuantizedServerMatchesFp32Server) {
+  ServerOptions fp32;
+  fp32.retrieve_k = 16;
+  ServerOptions int8 = fp32;
+  int8.use_quantized = true;
+  int8.quantized_pool = 4096;  // clamps to the index size: exact pool
+  auto a = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", fp32);
+  auto b = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", int8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t e = 0; e < 5; ++e) {
+    const auto& ex = split_.test[e];
+    auto ra = (*a)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    auto rb = (*b)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (std::size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].entity_id, (*rb)[i].entity_id);
+      EXPECT_EQ((*ra)[i].score, (*rb)[i].score);
+    }
+  }
+}
+
+TEST_F(ServeTest, ServerCachesRepeatedRequests) {
+  ServerOptions opts;
+  opts.retrieve_k = 8;
+  opts.cache_capacity = 64;
+  auto server =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "target", opts);
+  ASSERT_TRUE(server.ok());
+  const auto& ex = split_.test.front();
+  auto first = (*server)->Link(ex.mention, ex.left_context, ex.right_context);
+  auto second = (*server)->Link(ex.mention, ex.left_context, ex.right_context);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].entity_id, (*second)[i].entity_id);
+    EXPECT_EQ((*first)[i].score, (*second)[i].score);
+  }
+  const ServerStats stats = (*server)->Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 2u);
+}
+
+TEST_F(ServeTest, EightThreadHammer) {
+  // The acceptance test for the scheduler: 8 concurrent client threads,
+  // repeated mentions (exercises the LRU), every request answered, and
+  // identical mentions get identical answers. Run under
+  // METABLINK_SANITIZE=thread this vets the queue/stats/scratch locking.
+  ServerOptions opts;
+  opts.retrieve_k = 8;
+  opts.max_batch = 8;
+  opts.flush_deadline_us = 200;
+  opts.cache_capacity = 32;
+  auto server =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "target", opts);
+  ASSERT_TRUE(server.ok());
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::vector<kb::EntityId>> best(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kPerThread; ++r) {
+        // A small rotating pool of distinct mentions shared across threads.
+        const auto& ex = split_.test[(t + 3 * r) % 10];
+        auto got =
+            (*server)->Link(ex.mention, ex.left_context, ex.right_context, 3);
+        if (!got.ok() || got->empty()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        best[t].push_back((*got)[0].entity_id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  const ServerStats stats = (*server)->Stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, stats.requests);
+  EXPECT_EQ((*server)->LatenciesMs().size(), kThreads * kPerThread);
+
+  // Determinism across threads: the same probe index always links to the
+  // same top entity.
+  std::vector<kb::EntityId> canonical(10, kb::kInvalidEntityId);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(best[t].size(), kPerThread);
+    for (std::size_t r = 0; r < kPerThread; ++r) {
+      const std::size_t probe = (t + 3 * r) % 10;
+      if (canonical[probe] == kb::kInvalidEntityId) {
+        canonical[probe] = best[t][r];
+      }
+      EXPECT_EQ(best[t][r], canonical[probe]);
+    }
+  }
+}
+
+TEST_F(ServeTest, CreateValidatesInputs) {
+  EXPECT_FALSE(LinkingServer::Create(nullptr, pipeline_->cross_encoder(),
+                                     &corpus_->kb, "target")
+                   .ok());
+  auto missing =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "no_such_domain");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, FromLinkerRequiresFit) {
+  core::FewShotLinker linker(TestConfig());
+  auto server = LinkingServer::FromLinker(linker);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+// ---- Fitted-linker integration: edge cases + concurrent const Link ---------
+
+TEST_F(ServeTest, FittedLinkerEdgeCasesAndConcurrentLink) {
+  core::FewShotLinker linker(TestConfig());
+  ASSERT_TRUE(
+      linker.Fit(*corpus_, {"source"}, "target", split_.train).ok());
+
+  // top_k far beyond the KB clamps to the stage-1 candidate count.
+  const auto& probe = split_.test.front();
+  auto big = linker.Link(probe.mention, probe.left_context,
+                         probe.right_context, 100000);
+  ASSERT_TRUE(big.ok());
+  EXPECT_LE(big->size(),
+            corpus_->kb.EntitiesInDomain("target").size());
+  EXPECT_GT(big->size(), 0u);
+
+  // Empty mention / empty context: no features on one side is still a
+  // servable request, not a crash.
+  auto no_mention = linker.Link("", probe.left_context, probe.right_context);
+  ASSERT_TRUE(no_mention.ok());
+  EXPECT_GT(no_mention->size(), 0u);
+  auto no_context = linker.Link(probe.mention, "", "");
+  ASSERT_TRUE(no_context.ok());
+  EXPECT_GT(no_context->size(), 0u);
+
+  // Concurrent const Link on the shared linker: 8 threads hammering the
+  // same fitted instance (TSan-checked in the sanitizer matrix).
+  constexpr std::size_t kThreads = 8;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  const core::FewShotLinker& shared = linker;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < 4; ++r) {
+        const auto& ex = split_.test[(t + r) % split_.test.size()];
+        auto got = shared.Link(ex.mention, ex.left_context, ex.right_context);
+        if (!got.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // FromLinker serves the same answers the linker computes directly (same
+  // stage-1 k so both rerank the same candidate set).
+  ServerOptions opts;
+  opts.retrieve_k = TestConfig().eval.k;
+  auto server = LinkingServer::FromLinker(linker, opts);
+  ASSERT_TRUE(server.ok());
+  auto direct = linker.Link(probe.mention, probe.left_context,
+                            probe.right_context, 5);
+  auto served = (*server)->Link(probe.mention, probe.left_context,
+                                probe.right_context, 5);
+  ASSERT_TRUE(direct.ok() && served.ok());
+  ASSERT_EQ(direct->size(), served->size());
+  for (std::size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*direct)[i].entity_id, (*served)[i].entity_id);
+    EXPECT_NEAR((*direct)[i].score, (*served)[i].score, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace metablink::serve

@@ -11,6 +11,10 @@
 #   5. graphlint  — the analyzer self-checks: analysis_test (GraphLint
 #                   seeded-defect fixtures + WriteSetChecker) from stage 1's
 #                   tree, rerun explicitly so a filtered ctest cannot hide it
+#   6. serving    — bench_serving --smoke from stage 1's tree: a reduced
+#                   end-to-end run of the inference engine that exits
+#                   non-zero if tape vs tape-free parity or int8 recall
+#                   drifts
 #
 # Fails fast: the first failing stage stops the run; a summary table of
 # per-stage PASS/FAIL/SKIP status is always printed on exit.
@@ -22,7 +26,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-STAGES=(default asan-ubsan tsan clang-tidy graphlint)
+STAGES=(default asan-ubsan tsan clang-tidy graphlint serving)
 declare -A STATUS
 for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
 
@@ -81,6 +85,15 @@ echo "== stage: graphlint =="
 # WriteSetChecker race fixtures, and the instrumented-kernel proofs.
 ./build-check-default/tests/analysis_test || fail graphlint
 STATUS[graphlint]="PASS"
+
+echo
+echo "== stage: serving =="
+# Reduced serving run: checks tape vs tape-free score parity and int8
+# retrieval recall end to end (exit 1 on drift), without the full-scale
+# benchmark timings.
+./build-check-default/bench/bench_serving --smoke /tmp/metablink-smoke-serving.json \
+  || fail serving
+STATUS[serving]="PASS"
 
 echo
 echo "check.sh: all stages passed (or were skipped)"
