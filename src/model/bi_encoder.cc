@@ -154,19 +154,73 @@ void BiEncoder::EncodeMentionBagsInference(std::size_t n,
   EncodeBagsInference(n, *mention_table_, *mention_proj_, scratch, out);
 }
 
+namespace {
+// Pre-store-subsystem file tag ("BI"); kept readable forever.
+constexpr std::uint32_t kLegacyBiTag = 0x4249u;
+}  // namespace
+
+void BiEncoder::SaveCheckpoint(store::CheckpointWriter* ckpt) const {
+  util::BinaryWriter* config = ckpt->AddSection("bi_config");
+  config->WriteU64(config_.dim);
+  SaveFeatureConfig(config_.features, config);
+  params_.Save(ckpt->AddSection("bi_params"));
+}
+
+util::Result<BiEncoderConfig> BiEncoder::ReadConfig(
+    const store::CheckpointReader& ckpt) {
+  auto section = ckpt.Section("bi_config");
+  if (!section.ok()) return section.status();
+  BiEncoderConfig config;
+  std::uint64_t dim = 0;
+  METABLINK_RETURN_IF_ERROR(section->ReadU64(&dim));
+  config.dim = static_cast<std::size_t>(dim);
+  METABLINK_RETURN_IF_ERROR(LoadFeatureConfig(&*section, &config.features));
+  return config;
+}
+
+util::Status BiEncoder::LoadCheckpoint(const store::CheckpointReader& ckpt) {
+  auto stored = ReadConfig(ckpt);
+  if (!stored.ok()) return stored.status();
+  if (stored->dim != config_.dim ||
+      !FeatureConfigsMatch(stored->features, config_.features)) {
+    return util::Status::InvalidArgument(
+        "bi-encoder checkpoint config does not match this model");
+  }
+  auto section = ckpt.Section("bi_params");
+  if (!section.ok()) return section.status();
+  return params_.Load(&*section);
+}
+
 util::Status BiEncoder::SaveToFile(const std::string& path) const {
-  util::BinaryWriter writer;
-  writer.WriteU32(0x4249u);  // "BI" tag
-  params_.Save(&writer);
-  return writer.WriteToFile(path);
+  store::CheckpointWriter ckpt;
+  SaveCheckpoint(&ckpt);
+  return ckpt.WriteToFile(path);
 }
 
 util::Status BiEncoder::LoadFromFile(const std::string& path) {
   auto reader = util::BinaryReader::FromFile(path);
   if (!reader.ok()) return reader.status();
+  std::vector<std::uint8_t> bytes;
+  METABLINK_RETURN_IF_ERROR(reader->ReadBytes(reader->Remaining(), &bytes));
+  if (bytes.size() >= 4) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, bytes.data(), 4);
+    if (magic == store::kCheckpointMagic) {
+      auto ckpt = store::CheckpointReader::Parse(std::move(bytes));
+      if (!ckpt.ok()) return ckpt.status();
+      return LoadCheckpoint(*ckpt);
+    }
+  }
+  // Legacy headerless format: a "BI" tag followed by the raw parameter
+  // stream.
+  util::BinaryReader legacy(std::move(bytes));
   std::uint32_t tag = 0;
-  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
-  return params_.Load(&*reader);
+  METABLINK_RETURN_IF_ERROR(legacy.ReadU32(&tag));
+  if (tag != kLegacyBiTag) {
+    return util::Status::InvalidArgument("not a bi-encoder checkpoint: " +
+                                         path);
+  }
+  return params_.Load(&legacy);
 }
 
 }  // namespace metablink::model

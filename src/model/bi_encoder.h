@@ -8,6 +8,7 @@
 #include "data/example.h"
 #include "kb/knowledge_base.h"
 #include "model/features.h"
+#include "store/checkpoint.h"
 #include "tensor/graph.h"
 #include "tensor/parameter.h"
 #include "util/rng.h"
@@ -95,10 +96,27 @@ class BiEncoder {
   tensor::ParameterStore* params() { return &params_; }
   const tensor::ParameterStore* params() const { return &params_; }
   const Featurizer& featurizer() const { return featurizer_; }
+  const BiEncoderConfig& config() const { return config_; }
   std::size_t dim() const { return config_.dim; }
 
-  /// Checkpointing.
+  // ---- Checkpointing -----------------------------------------------------
+
+  /// Adds "bi_config" + "bi_params" sections to `ckpt`.
+  void SaveCheckpoint(store::CheckpointWriter* ckpt) const;
+
+  /// Restores weights from a container written by SaveCheckpoint. The
+  /// stored config must match this model's (InvalidArgument otherwise).
+  util::Status LoadCheckpoint(const store::CheckpointReader& ckpt);
+
+  /// Reads just the stored config, so a caller can construct a matching
+  /// model before LoadCheckpoint.
+  static util::Result<BiEncoderConfig> ReadConfig(
+      const store::CheckpointReader& ckpt);
+
+  /// Writes a framed checkpoint container (see store::CheckpointWriter).
   util::Status SaveToFile(const std::string& path) const;
+  /// Loads either a framed container or the legacy headerless "BI"-tagged
+  /// format (files written before the store subsystem existed).
   util::Status LoadFromFile(const std::string& path);
 
  private:

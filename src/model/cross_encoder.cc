@@ -235,19 +235,76 @@ void CrossEncoder::ScoreCachedInference(const data::LinkingExample& example,
   }
 }
 
+namespace {
+// Pre-store-subsystem file tag ("CR"); kept readable forever.
+constexpr std::uint32_t kLegacyCrossTag = 0x4352u;
+}  // namespace
+
+void CrossEncoder::SaveCheckpoint(store::CheckpointWriter* ckpt) const {
+  util::BinaryWriter* config = ckpt->AddSection("cross_config");
+  config->WriteU64(config_.dim);
+  config->WriteU64(config_.hidden);
+  SaveFeatureConfig(config_.features, config);
+  params_.Save(ckpt->AddSection("cross_params"));
+}
+
+util::Result<CrossEncoderConfig> CrossEncoder::ReadConfig(
+    const store::CheckpointReader& ckpt) {
+  auto section = ckpt.Section("cross_config");
+  if (!section.ok()) return section.status();
+  CrossEncoderConfig config;
+  std::uint64_t dim = 0, hidden = 0;
+  METABLINK_RETURN_IF_ERROR(section->ReadU64(&dim));
+  METABLINK_RETURN_IF_ERROR(section->ReadU64(&hidden));
+  config.dim = static_cast<std::size_t>(dim);
+  config.hidden = static_cast<std::size_t>(hidden);
+  METABLINK_RETURN_IF_ERROR(LoadFeatureConfig(&*section, &config.features));
+  return config;
+}
+
+util::Status CrossEncoder::LoadCheckpoint(const store::CheckpointReader& ckpt) {
+  auto stored = ReadConfig(ckpt);
+  if (!stored.ok()) return stored.status();
+  if (stored->dim != config_.dim || stored->hidden != config_.hidden ||
+      !FeatureConfigsMatch(stored->features, config_.features)) {
+    return util::Status::InvalidArgument(
+        "cross-encoder checkpoint config does not match this model");
+  }
+  auto section = ckpt.Section("cross_params");
+  if (!section.ok()) return section.status();
+  return params_.Load(&*section);
+}
+
 util::Status CrossEncoder::SaveToFile(const std::string& path) const {
-  util::BinaryWriter writer;
-  writer.WriteU32(0x4352u);  // "CR" tag
-  params_.Save(&writer);
-  return writer.WriteToFile(path);
+  store::CheckpointWriter ckpt;
+  SaveCheckpoint(&ckpt);
+  return ckpt.WriteToFile(path);
 }
 
 util::Status CrossEncoder::LoadFromFile(const std::string& path) {
   auto reader = util::BinaryReader::FromFile(path);
   if (!reader.ok()) return reader.status();
+  std::vector<std::uint8_t> bytes;
+  METABLINK_RETURN_IF_ERROR(reader->ReadBytes(reader->Remaining(), &bytes));
+  if (bytes.size() >= 4) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, bytes.data(), 4);
+    if (magic == store::kCheckpointMagic) {
+      auto ckpt = store::CheckpointReader::Parse(std::move(bytes));
+      if (!ckpt.ok()) return ckpt.status();
+      return LoadCheckpoint(*ckpt);
+    }
+  }
+  // Legacy headerless format: a "CR" tag followed by the raw parameter
+  // stream.
+  util::BinaryReader legacy(std::move(bytes));
   std::uint32_t tag = 0;
-  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
-  return params_.Load(&*reader);
+  METABLINK_RETURN_IF_ERROR(legacy.ReadU32(&tag));
+  if (tag != kLegacyCrossTag) {
+    return util::Status::InvalidArgument("not a cross-encoder checkpoint: " +
+                                         path);
+  }
+  return params_.Load(&legacy);
 }
 
 }  // namespace metablink::model

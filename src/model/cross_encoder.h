@@ -7,6 +7,7 @@
 #include "data/example.h"
 #include "kb/knowledge_base.h"
 #include "model/features.h"
+#include "store/checkpoint.h"
 #include "tensor/graph.h"
 #include "tensor/parameter.h"
 #include "util/rng.h"
@@ -99,8 +100,26 @@ class CrossEncoder {
   tensor::ParameterStore* params() { return &params_; }
   const tensor::ParameterStore* params() const { return &params_; }
   const Featurizer& featurizer() const { return featurizer_; }
+  const CrossEncoderConfig& config() const { return config_; }
 
+  // ---- Checkpointing -----------------------------------------------------
+
+  /// Adds "cross_config" + "cross_params" sections to `ckpt`.
+  void SaveCheckpoint(store::CheckpointWriter* ckpt) const;
+
+  /// Restores weights from a container written by SaveCheckpoint. The
+  /// stored config must match this model's (InvalidArgument otherwise).
+  util::Status LoadCheckpoint(const store::CheckpointReader& ckpt);
+
+  /// Reads just the stored config, so a caller can construct a matching
+  /// model before LoadCheckpoint.
+  static util::Result<CrossEncoderConfig> ReadConfig(
+      const store::CheckpointReader& ckpt);
+
+  /// Writes a framed checkpoint container (see store::CheckpointWriter).
   util::Status SaveToFile(const std::string& path) const;
+  /// Loads either a framed container or the legacy headerless "CR"-tagged
+  /// format (files written before the store subsystem existed).
   util::Status LoadFromFile(const std::string& path);
 
  private:

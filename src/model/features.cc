@@ -159,4 +159,43 @@ void Featurizer::OverlapFeaturesCached(const MentionTokens& mention,
   out[5] = FractionIn(mention.context_tokens, entity.desc_set);
 }
 
+void SaveFeatureConfig(const FeatureConfig& config,
+                       util::BinaryWriter* writer) {
+  const text::FeatureHasherOptions& h = config.hasher;
+  writer->WriteU32(h.num_buckets);
+  writer->WriteU32(h.word_unigrams ? 1u : 0u);
+  writer->WriteU32(h.word_bigrams ? 1u : 0u);
+  writer->WriteU64(h.char_ngram_sizes.size());
+  for (int n : h.char_ngram_sizes) {
+    writer->WriteI64(static_cast<std::int64_t>(n));
+  }
+}
+
+util::Status LoadFeatureConfig(util::BinaryReader* reader, FeatureConfig* out) {
+  text::FeatureHasherOptions h;
+  std::uint32_t unigrams = 0, bigrams = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&h.num_buckets));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&unigrams));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&bigrams));
+  h.word_unigrams = unigrams != 0;
+  h.word_bigrams = bigrams != 0;
+  std::uint64_t num_sizes = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&num_sizes));
+  h.char_ngram_sizes.clear();
+  for (std::uint64_t i = 0; i < num_sizes; ++i) {
+    std::int64_t n = 0;
+    METABLINK_RETURN_IF_ERROR(reader->ReadI64(&n));
+    h.char_ngram_sizes.push_back(static_cast<int>(n));
+  }
+  out->hasher = std::move(h);
+  return util::Status::OK();
+}
+
+bool FeatureConfigsMatch(const FeatureConfig& a, const FeatureConfig& b) {
+  return a.hasher.num_buckets == b.hasher.num_buckets &&
+         a.hasher.word_unigrams == b.hasher.word_unigrams &&
+         a.hasher.word_bigrams == b.hasher.word_bigrams &&
+         a.hasher.char_ngram_sizes == b.hasher.char_ngram_sizes;
+}
+
 }  // namespace metablink::model

@@ -10,6 +10,8 @@
 #include "kb/entity.h"
 #include "text/feature_hashing.h"
 #include "text/tokenizer.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace metablink::model {
 
@@ -29,6 +31,16 @@ inline constexpr std::size_t kNumOverlapFeatures = 6;
 struct FeatureConfig {
   text::FeatureHasherOptions hasher;
 };
+
+/// Serializes `config` so a checkpoint records the exact feature space its
+/// weights were trained in (bucket count and n-gram settings change the
+/// hashed input representation, so loading weights under a different
+/// config would be silently wrong).
+void SaveFeatureConfig(const FeatureConfig& config, util::BinaryWriter* writer);
+util::Status LoadFeatureConfig(util::BinaryReader* reader, FeatureConfig* out);
+
+/// True when the two configs describe the same hashed feature space.
+bool FeatureConfigsMatch(const FeatureConfig& a, const FeatureConfig& b);
 
 /// Entity-side text work that does not depend on the mention, precomputed
 /// once per entity for the serving path: tokenized + set-ified title and

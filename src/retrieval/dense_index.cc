@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "store/checkpoint.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/string_util.h"
@@ -330,15 +332,30 @@ util::Status DenseIndex::Load(util::BinaryReader* reader) {
 }
 
 util::Status DenseIndex::SaveToFile(const std::string& path) const {
-  util::BinaryWriter writer;
-  Save(&writer);
-  return writer.WriteToFile(path);
+  store::CheckpointWriter ckpt;
+  Save(ckpt.AddSection("index"));
+  return ckpt.WriteToFile(path);
 }
 
 util::Status DenseIndex::LoadFromFile(const std::string& path) {
   auto reader = util::BinaryReader::FromFile(path);
   if (!reader.ok()) return reader.status();
-  return Load(&*reader);
+  std::vector<std::uint8_t> bytes;
+  METABLINK_RETURN_IF_ERROR(reader->ReadBytes(reader->Remaining(), &bytes));
+  if (bytes.size() >= 4) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, bytes.data(), 4);
+    if (magic == store::kCheckpointMagic) {
+      auto ckpt = store::CheckpointReader::Parse(std::move(bytes));
+      if (!ckpt.ok()) return ckpt.status();
+      auto section = ckpt->Section("index");
+      if (!section.ok()) return section.status();
+      return Load(&*section);
+    }
+  }
+  // Legacy headerless format: the raw "INXD" stream.
+  util::BinaryReader legacy(std::move(bytes));
+  return Load(&legacy);
 }
 
 }  // namespace metablink::retrieval

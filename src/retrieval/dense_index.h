@@ -61,6 +61,8 @@ class DenseIndex {
   std::size_t size() const { return ids_.size(); }
   std::size_t dim() const { return embeddings_.cols(); }
   bool built() const { return !ids_.empty(); }
+  /// Entity id of each stored row, in row order.
+  const std::vector<kb::EntityId>& ids() const { return ids_; }
 
   /// Top-k by inner product for one query of length dim(), appending the
   /// hits (best first; ties broken by ascending id) to `*out` after
@@ -100,7 +102,10 @@ class DenseIndex {
   /// a served KB reloads without re-encoding entities.
   void Save(util::BinaryWriter* writer) const;
   util::Status Load(util::BinaryReader* reader);
+  /// Writes a framed checkpoint container with one "index" section.
   util::Status SaveToFile(const std::string& path) const;
+  /// Loads either a framed container or the legacy headerless "INXD"
+  /// stream (files written before the store subsystem existed).
   util::Status LoadFromFile(const std::string& path);
 
   /// The raw stored embedding row for position `i` (test/diagnostic use).

@@ -34,9 +34,10 @@ util::Result<std::unique_ptr<LinkingServer>> LinkingServer::Create(
   }
   options.max_batch = std::max<std::size_t>(1, options.max_batch);
   options.retrieve_k = std::max<std::size_t>(1, options.retrieve_k);
+  auto epoch = BuildEpoch(bi, cross, kb, domain, options);
+  if (!epoch.ok()) return epoch.status();
   std::unique_ptr<LinkingServer> server(
-      new LinkingServer(bi, cross, kb, domain, std::move(options)));
-  METABLINK_RETURN_IF_ERROR(server->BuildIndex());
+      new LinkingServer(std::move(options), *std::move(epoch)));
   server->scheduler_ = std::thread(&LinkingServer::SchedulerLoop, server.get());
   return server;
 }
@@ -53,15 +54,23 @@ util::Result<std::unique_ptr<LinkingServer>> LinkingServer::FromLinker(
                 std::move(options));
 }
 
-LinkingServer::LinkingServer(const model::BiEncoder* bi,
-                             const model::CrossEncoder* cross,
-                             const kb::KnowledgeBase* kb, std::string domain,
-                             ServerOptions options)
-    : bi_(bi),
-      cross_(cross),
-      kb_(kb),
-      domain_(std::move(domain)),
-      options_(options) {}
+util::Result<std::unique_ptr<LinkingServer>> LinkingServer::FromBundle(
+    const std::string& bundle_dir, ServerOptions options) {
+  options.max_batch = std::max<std::size_t>(1, options.max_batch);
+  options.retrieve_k = std::max<std::size_t>(1, options.retrieve_k);
+  auto bundle = store::LoadModelBundle(bundle_dir);
+  if (!bundle.ok()) return bundle.status();
+  auto epoch = BuildEpochFromBundle(std::move(*bundle), options);
+  if (!epoch.ok()) return epoch.status();
+  std::unique_ptr<LinkingServer> server(
+      new LinkingServer(std::move(options), *std::move(epoch)));
+  server->scheduler_ = std::thread(&LinkingServer::SchedulerLoop, server.get());
+  return server;
+}
+
+LinkingServer::LinkingServer(ServerOptions options,
+                             std::shared_ptr<ModelEpoch> epoch)
+    : options_(std::move(options)), epoch_(std::move(epoch)) {}
 
 LinkingServer::~LinkingServer() {
   {
@@ -72,15 +81,27 @@ LinkingServer::~LinkingServer() {
   if (scheduler_.joinable()) scheduler_.join();
 }
 
-util::Status LinkingServer::BuildIndex() {
-  const std::vector<kb::EntityId>& ids = kb_->EntitiesInDomain(domain_);
+util::Result<std::shared_ptr<LinkingServer::ModelEpoch>>
+LinkingServer::BuildEpoch(const model::BiEncoder* bi,
+                          const model::CrossEncoder* cross,
+                          const kb::KnowledgeBase* kb,
+                          const std::string& domain,
+                          const ServerOptions& options) {
+  const std::vector<kb::EntityId>& ids = kb->EntitiesInDomain(domain);
   if (ids.empty()) {
-    return util::Status::NotFound("domain has no entities: " + domain_);
+    return util::Status::NotFound("domain has no entities: " + domain);
   }
-  const std::size_t d = bi_->dim();
+  auto epoch = std::make_shared<ModelEpoch>();
+  epoch->domain = domain;
+  epoch->bi = bi;
+  epoch->cross = cross;
+  epoch->kb = kb;
+  const std::size_t d = bi->dim();
   tensor::Tensor all(ids.size(), d);
-  // Chunked so the encode scratch stays small.
+  // Chunked so the encode scratch stays small. Cold path: local scratch.
   const std::size_t chunk = 256;
+  model::EncodeScratch encode_scratch;
+  tensor::Tensor encoded;
   std::vector<kb::Entity> part;
   std::vector<kb::Entity> entities;
   entities.reserve(ids.size());
@@ -89,22 +110,77 @@ util::Status LinkingServer::BuildIndex() {
     part.clear();
     part.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      part.push_back(kb_->entity(ids[i]));
+      part.push_back(kb->entity(ids[i]));
     }
-    bi_->EncodeEntitiesInference(part, &encode_scratch_, &encoded_);
-    for (std::size_t r = 0; r < encoded_.rows(); ++r) {
-      std::copy(encoded_.row_data(r), encoded_.row_data(r) + d,
+    bi->EncodeEntitiesInference(part, &encode_scratch, &encoded);
+    for (std::size_t r = 0; r < encoded.rows(); ++r) {
+      std::copy(encoded.row_data(r), encoded.row_data(r) + d,
                 all.row_data(begin + r));
       entities.push_back(part[r]);
     }
   }
-  METABLINK_RETURN_IF_ERROR(index_.Build(std::move(all), ids));
-  if (options_.use_quantized) index_.Quantize();
+  METABLINK_RETURN_IF_ERROR(epoch->index.Build(std::move(all), ids));
+  if (options.use_quantized) epoch->index.Quantize();
   // Entity-side rerank work, hoisted out of the serving loop.
-  cross_->PrecomputeEntities(entities, &cross_cache_);
-  entity_pos_.reserve(ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) entity_pos_[ids[i]] = i;
+  cross->PrecomputeEntities(entities, &epoch->cross_cache);
+  epoch->entity_pos.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) epoch->entity_pos[ids[i]] = i;
+  return epoch;
+}
+
+util::Result<std::shared_ptr<LinkingServer::ModelEpoch>>
+LinkingServer::BuildEpochFromBundle(store::ModelBundle bundle,
+                                    const ServerOptions& options) {
+  auto epoch = std::make_shared<ModelEpoch>();
+  epoch->owned = std::make_unique<store::ModelBundle>(std::move(bundle));
+  store::ModelBundle& b = *epoch->owned;
+  epoch->version = b.model_version;
+  epoch->domain = b.domain;
+  epoch->bi = b.bi.get();
+  epoch->cross = b.cross.get();
+  epoch->kb = b.kb.get();
+  epoch->index = std::move(b.index);
+  if (!epoch->index.built()) {
+    return util::Status::InvalidArgument("bundle index has no entities");
+  }
+  if (options.use_quantized && !epoch->index.quantized()) {
+    epoch->index.Quantize();
+  }
+  const std::vector<kb::EntityId>& ids = epoch->index.ids();
+  if (b.has_rerank_cache) {
+    epoch->cross_cache = std::move(b.rerank_cache);
+  } else {
+    // Bundle shipped without the precomputed rerank artifact: rebuild it
+    // from the KB in index-row order.
+    std::vector<kb::Entity> entities;
+    entities.reserve(ids.size());
+    for (kb::EntityId id : ids) entities.push_back(epoch->kb->entity(id));
+    epoch->cross->PrecomputeEntities(entities, &epoch->cross_cache);
+  }
+  epoch->entity_pos.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) epoch->entity_pos[ids[i]] = i;
+  return epoch;
+}
+
+util::Status LinkingServer::SwapModel(const std::string& bundle_dir) {
+  // All loading and validation happens off the publish lock; a concurrent
+  // scheduler keeps serving the current version throughout.
+  auto bundle = store::LoadModelBundle(bundle_dir);
+  if (!bundle.ok()) return bundle.status();
+  auto epoch = BuildEpochFromBundle(std::move(*bundle), options_);
+  if (!epoch.ok()) return epoch.status();
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch_ = *std::move(epoch);
+    ++swaps_;
+  }
   return util::Status::OK();
+}
+
+std::shared_ptr<LinkingServer::ModelEpoch> LinkingServer::CurrentEpoch()
+    const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
 }
 
 util::Result<std::vector<core::LinkPrediction>> LinkingServer::Link(
@@ -114,7 +190,8 @@ util::Result<std::vector<core::LinkPrediction>> LinkingServer::Link(
   req.example.mention = mention;
   req.example.left_context = left_context;
   req.example.right_context = right_context;
-  req.example.domain = domain_;
+  // example.domain is stamped by ServeBatch from the version that serves
+  // the batch.
   req.top_k = top_k;
   req.enqueued = Clock::now();
   auto future = req.promise.get_future();
@@ -157,15 +234,20 @@ void LinkingServer::SchedulerLoop() {
 }
 
 void LinkingServer::ServeBatch(std::vector<Request>* batch) {
+  // One model version serves the whole batch: every stage below reads
+  // through this snapshot, so a concurrent SwapModel can never produce a
+  // response that mixes versions. The snapshot also keeps the old version
+  // alive until its last in-flight batch completes.
+  const std::shared_ptr<ModelEpoch> epoch = CurrentEpoch();
   const std::size_t m = batch->size();
-  const std::size_t d = bi_->dim();
+  const std::size_t d = epoch->bi->dim();
   std::size_t hits = 0;
   std::size_t misses = 0;
 
   // ---- Stage 1: batched mention encode (tape-free), LRU-deduplicated.
   // A cache hit restores both the mention embedding and its retrieved
-  // top-k (each a pure function of the request text and the fixed index),
-  // so hits skip stage 2 entirely.
+  // top-k (each a pure function of the request text and the version's
+  // index), so hits skip stage 2 entirely.
   const auto t0 = Clock::now();
   queries_.Resize(m, d);
   batch_hits_.resize(m);
@@ -173,9 +255,11 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
   keys_.clear();
   keys_.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
+    (*batch)[i].example.domain = epoch->domain;
     if (options_.cache_capacity > 0) {
       keys_[i] = CacheKey((*batch)[i].example);
-      if (CacheLookup(keys_[i], queries_.row_data(i), &batch_hits_[i])) {
+      if (CacheLookup(epoch.get(), keys_[i], queries_.row_data(i),
+                      &batch_hits_[i])) {
         ++hits;
         continue;
       }
@@ -188,11 +272,11 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
       encode_scratch_.bags.resize(miss_idx_.size());
     }
     for (std::size_t j = 0; j < miss_idx_.size(); ++j) {
-      bi_->featurizer().MentionBagInto((*batch)[miss_idx_[j]].example,
-                                       &encode_scratch_.bags[j]);
+      epoch->bi->featurizer().MentionBagInto((*batch)[miss_idx_[j]].example,
+                                             &encode_scratch_.bags[j]);
     }
-    bi_->EncodeMentionBagsInference(miss_idx_.size(), &encode_scratch_,
-                                    &encoded_);
+    epoch->bi->EncodeMentionBagsInference(miss_idx_.size(), &encode_scratch_,
+                                          &encoded_);
     for (std::size_t j = 0; j < miss_idx_.size(); ++j) {
       const std::size_t i = miss_idx_[j];
       std::copy(encoded_.row_data(j), encoded_.row_data(j) + d,
@@ -200,34 +284,38 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
     }
   }
 
-  // ---- Stage 2: top-k retrieval against the prebuilt domain index for
-  // the cache misses, parallel across queries (each query's top-k is
-  // independent, so the parallel results are identical to serial).
+  // ---- Stage 2: top-k retrieval against the version's prebuilt domain
+  // index for the cache misses, parallel across queries (each query's
+  // top-k is independent, so the parallel results are identical to
+  // serial).
   const auto t1 = Clock::now();
   const std::size_t k = options_.retrieve_k;
   if (topk_scratch_.size() < std::max<std::size_t>(1, pool_.num_threads())) {
     topk_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
   }
   if (!miss_idx_.empty()) {
+    const bool quantized = options_.use_quantized && epoch->index.quantized();
     pool_.ParallelForChunks(
         miss_idx_.size(), 0,
-        [this, k](std::size_t chunk, std::size_t begin, std::size_t end) {
+        [this, &epoch, k, quantized](std::size_t chunk, std::size_t begin,
+                                     std::size_t end) {
           for (std::size_t j = begin; j < end; ++j) {
             const std::size_t i = miss_idx_[j];
-            if (options_.use_quantized) {
-              index_.TopKQuantizedInto(queries_.row_data(i), k,
-                                       options_.quantized_pool,
-                                       &topk_scratch_[chunk],
-                                       &batch_hits_[i]);
+            if (quantized) {
+              epoch->index.TopKQuantizedInto(queries_.row_data(i), k,
+                                             options_.quantized_pool,
+                                             &topk_scratch_[chunk],
+                                             &batch_hits_[i]);
             } else {
-              index_.TopKInto(queries_.row_data(i), k, &topk_scratch_[chunk],
-                              &batch_hits_[i]);
+              epoch->index.TopKInto(queries_.row_data(i), k,
+                                    &topk_scratch_[chunk], &batch_hits_[i]);
             }
           }
         });
     if (options_.cache_capacity > 0) {
       for (std::size_t i : miss_idx_) {
-        CacheInsert(keys_[i], queries_.row_data(i), batch_hits_[i]);
+        CacheInsert(epoch.get(), keys_[i], queries_.row_data(i),
+                    batch_hits_[i]);
       }
     }
   }
@@ -244,7 +332,7 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
     rerank_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
   }
   pool_.ParallelForChunks(
-      m, 0, [this, batch, &batch_latencies, &outcomes](
+      m, 0, [this, &epoch, batch, &batch_latencies, &outcomes](
                 std::size_t chunk, std::size_t begin, std::size_t end) {
         RerankScratch& scratch = rerank_scratch_[chunk];
         for (std::size_t i = begin; i < end; ++i) {
@@ -254,11 +342,11 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
           scratch.rows.clear();
           scratch.rows.reserve(cands.size());
           for (const auto& c : cands) {
-            scratch.rows.push_back(entity_pos_.at(c.id));
+            scratch.rows.push_back(epoch->entity_pos.at(c.id));
           }
-          cross_->ScoreCachedInference(req.example, scratch.rows,
-                                       cross_cache_, &scratch.cross,
-                                       &scratch.scores);
+          epoch->cross->ScoreCachedInference(req.example, scratch.rows,
+                                             epoch->cross_cache,
+                                             &scratch.cross, &scratch.scores);
           for (std::size_t c = 0; c < cands.size(); ++c) {
             cands[c].score = scratch.scores[c];
           }
@@ -274,7 +362,7 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
           for (const auto& c : cands) {
             core::LinkPrediction p;
             p.entity_id = c.id;
-            p.title = kb_->entity(c.id).title;
+            p.title = epoch->kb->entity(c.id).title;
             p.score = c.score;
             predictions.push_back(std::move(p));
           }
@@ -309,12 +397,12 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
 }
 
 bool LinkingServer::CacheLookup(
-    const std::string& key, float* vec_out,
+    ModelEpoch* epoch, const std::string& key, float* vec_out,
     std::vector<retrieval::ScoredEntity>* hits_out) {
-  auto it = lru_map_.find(key);
-  if (it == lru_map_.end()) return false;
+  auto it = epoch->lru_map.find(key);
+  if (it == epoch->lru_map.end()) return false;
   // Refresh recency.
-  lru_.splice(lru_.begin(), lru_, it->second);
+  epoch->lru.splice(epoch->lru.begin(), epoch->lru, it->second);
   const CachedFeature& feature = it->second->second;
   std::copy(feature.vec.begin(), feature.vec.end(), vec_out);
   *hits_out = feature.hits;
@@ -322,34 +410,47 @@ bool LinkingServer::CacheLookup(
 }
 
 void LinkingServer::CacheInsert(
-    const std::string& key, const float* vec,
+    ModelEpoch* epoch, const std::string& key, const float* vec,
     const std::vector<retrieval::ScoredEntity>& hits) {
   if (options_.cache_capacity == 0) return;
-  auto it = lru_map_.find(key);
-  if (it != lru_map_.end()) {
+  auto it = epoch->lru_map.find(key);
+  if (it != epoch->lru_map.end()) {
     // Duplicate miss within one batch: refresh, keep the existing entry.
-    lru_.splice(lru_.begin(), lru_, it->second);
+    epoch->lru.splice(epoch->lru.begin(), epoch->lru, it->second);
     return;
   }
   CachedFeature feature;
-  feature.vec.assign(vec, vec + bi_->dim());
+  feature.vec.assign(vec, vec + epoch->bi->dim());
   feature.hits = hits;
-  lru_.emplace_front(key, std::move(feature));
-  lru_map_[key] = lru_.begin();
-  while (lru_.size() > options_.cache_capacity) {
-    lru_map_.erase(lru_.back().first);
-    lru_.pop_back();
+  epoch->lru.emplace_front(key, std::move(feature));
+  epoch->lru_map[key] = epoch->lru.begin();
+  while (epoch->lru.size() > options_.cache_capacity) {
+    epoch->lru_map.erase(epoch->lru.back().first);
+    epoch->lru.pop_back();
   }
 }
 
 ServerStats LinkingServer::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    out.model_version = epoch_->version;
+    out.swaps = swaps_;
+  }
+  return out;
 }
 
 std::vector<double> LinkingServer::LatenciesMs() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return latencies_ms_;
+}
+
+std::size_t LinkingServer::index_size() const {
+  return CurrentEpoch()->index.size();
 }
 
 }  // namespace metablink::serve

@@ -19,6 +19,7 @@
 #include "model/bi_encoder.h"
 #include "model/cross_encoder.h"
 #include "retrieval/dense_index.h"
+#include "store/model_bundle.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -39,7 +40,9 @@ struct ServerOptions {
   /// LRU entries for repeated (mention, context) requests; 0 disables.
   /// Each entry holds the mention embedding and its retrieved top-k (both
   /// pure functions of the request text and the fixed index), so a hit
-  /// skips encode + retrieval. Re-ranking always runs.
+  /// skips encode + retrieval. Re-ranking always runs. The cache lives
+  /// inside the model version it was filled against, so a SwapModel never
+  /// serves stale features.
   std::size_t cache_capacity = 1024;
 };
 
@@ -53,6 +56,11 @@ struct ServerStats {
   double encode_ms = 0.0;
   double retrieve_ms = 0.0;
   double rerank_ms = 0.0;
+  /// Version of the currently published model (a bundle's model_version;
+  /// 0 when serving in-process components).
+  std::uint64_t model_version = 0;
+  /// Successful SwapModel calls since construction.
+  std::uint64_t swaps = 0;
 };
 
 /// Production-style serving front-end for a fitted MetaBLINK system.
@@ -63,11 +71,20 @@ struct ServerStats {
 /// has waited `flush_deadline_us`, whichever comes first. Each flush runs
 /// the tape-free pipeline — batched mention encode (BiEncoder::
 /// EncodeMentionBagsInference) over the cache misses, top-k retrieval
-/// against a domain index built once at construction, and cross-encoder
-/// re-ranking (CrossEncoder::ScoreCachedInference against an entity-side
-/// cache also built at construction) — so steady-state serving does no
-/// Graph construction, no per-request index rebuild, no per-candidate
-/// entity tokenization, and no allocations beyond request bookkeeping.
+/// against a prebuilt domain index, and cross-encoder re-ranking
+/// (CrossEncoder::ScoreCachedInference against a precomputed entity-side
+/// cache) — so steady-state serving does no Graph construction, no
+/// per-request index rebuild, no per-candidate entity tokenization, and no
+/// allocations beyond request bookkeeping.
+///
+/// Everything a batch touches (encoders, KB, index, rerank cache, feature
+/// LRU) lives in one immutable-once-published ModelEpoch behind a
+/// shared_ptr. SwapModel() loads a new artifact bundle off the request
+/// path and publishes it atomically: in-flight batches finish on the
+/// version they started with, later batches see the new one, and the old
+/// version is destroyed when its last batch completes. A failed swap
+/// (missing or corrupt bundle) returns a Status and leaves the old
+/// version serving.
 ///
 /// Scores are identical to MetaBlinkPipeline::Link: the tape-free kernels
 /// are bit-compatible with the tape path, and the int8 retrieval option
@@ -87,6 +104,12 @@ class LinkingServer {
   static util::Result<std::unique_ptr<LinkingServer>> FromLinker(
       const core::FewShotLinker& linker, ServerOptions options = {});
 
+  /// Builds a server over a packaged artifact bundle (store::
+  /// LoadModelBundle). The server owns everything it serves; nothing else
+  /// needs to outlive it.
+  static util::Result<std::unique_ptr<LinkingServer>> FromBundle(
+      const std::string& bundle_dir, ServerOptions options = {});
+
   /// Drains pending requests (they complete normally), then stops the
   /// scheduler thread.
   ~LinkingServer();
@@ -102,6 +125,14 @@ class LinkingServer {
       const std::string& mention, const std::string& left_context,
       const std::string& right_context, std::size_t top_k = 5);
 
+  /// Loads the bundle at `bundle_dir` and atomically publishes it as the
+  /// new serving model. Thread-safe and callable while requests are in
+  /// flight: every batch is served entirely by one model version, so each
+  /// response reflects either the old or the new model, never a mix. On
+  /// any failure the current model keeps serving and the error is
+  /// returned.
+  util::Status SwapModel(const std::string& bundle_dir);
+
   /// Snapshot of the cumulative serving counters.
   ServerStats Stats() const;
 
@@ -110,7 +141,8 @@ class LinkingServer {
   std::vector<double> LatenciesMs() const;
 
   const ServerOptions& options() const { return options_; }
-  std::size_t index_size() const { return index_.size(); }
+  /// Entity count of the currently published model's index.
+  std::size_t index_size() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -122,41 +154,73 @@ class LinkingServer {
     std::promise<util::Result<std::vector<core::LinkPrediction>>> promise;
   };
 
-  LinkingServer(const model::BiEncoder* bi, const model::CrossEncoder* cross,
-                const kb::KnowledgeBase* kb, std::string domain,
-                ServerOptions options);
-
-  /// Embeds the domain's entities, builds (+ quantizes) the index, and
-  /// precomputes the cross-encoder entity cache.
-  util::Status BuildIndex();
-
-  void SchedulerLoop();
-  void ServeBatch(std::vector<Request>* batch);
-
   struct CachedFeature {
     std::vector<float> vec;                      // mention embedding [dim]
     std::vector<retrieval::ScoredEntity> hits;   // its retrieved top-k
   };
+  using LruList = std::list<std::pair<std::string, CachedFeature>>;
 
-  /// LRU lookup; on hit copies the cached embedding into `vec_out` and the
-  /// cached retrieval into `*hits_out`.
-  bool CacheLookup(const std::string& key, float* vec_out,
-                   std::vector<retrieval::ScoredEntity>* hits_out);
-  void CacheInsert(const std::string& key, const float* vec,
+  /// One published model version: every component a batch touches, owned
+  /// (or borrowed, for Create/FromLinker) in one place. The index /
+  /// rerank-cache / entity-position members are immutable after
+  /// publication; the feature LRU is mutated by the scheduler thread only,
+  /// and dies with its epoch — swap invalidation for free.
+  struct ModelEpoch {
+    std::uint64_t version = 0;
+    std::string domain;
+    /// Set when the epoch came from a bundle; null when the raw component
+    /// pointers borrow caller-owned objects.
+    std::unique_ptr<store::ModelBundle> owned;
+    const model::BiEncoder* bi = nullptr;
+    const model::CrossEncoder* cross = nullptr;
+    const kb::KnowledgeBase* kb = nullptr;
+    retrieval::DenseIndex index;
+    model::CrossEntityCache cross_cache;
+    std::unordered_map<kb::EntityId, std::size_t> entity_pos;
+    // Feature LRU: key -> list node of (key, feature).
+    LruList lru;
+    std::unordered_map<std::string, LruList::iterator> lru_map;
+  };
+
+  LinkingServer(ServerOptions options, std::shared_ptr<ModelEpoch> epoch);
+
+  /// Encodes the domain's entities, builds (+ optionally quantizes) the
+  /// index, and precomputes the cross-encoder entity cache, over borrowed
+  /// components.
+  static util::Result<std::shared_ptr<ModelEpoch>> BuildEpoch(
+      const model::BiEncoder* bi, const model::CrossEncoder* cross,
+      const kb::KnowledgeBase* kb, const std::string& domain,
+      const ServerOptions& options);
+
+  /// Turns a loaded bundle into a servable epoch: adopts its prebuilt
+  /// index (quantizing if the options ask for it and the bundle didn't),
+  /// adopts or recomputes the rerank cache, and derives the id -> row map.
+  static util::Result<std::shared_ptr<ModelEpoch>> BuildEpochFromBundle(
+      store::ModelBundle bundle, const ServerOptions& options);
+
+  void SchedulerLoop();
+  void ServeBatch(std::vector<Request>* batch);
+
+  /// Current epoch snapshot (the only way batches reach model state).
+  std::shared_ptr<ModelEpoch> CurrentEpoch() const;
+
+  /// LRU lookup within `epoch`; on hit copies the cached embedding into
+  /// `vec_out` and the cached retrieval into `*hits_out`. Scheduler-thread
+  /// only.
+  static bool CacheLookup(ModelEpoch* epoch, const std::string& key,
+                          float* vec_out,
+                          std::vector<retrieval::ScoredEntity>* hits_out);
+  void CacheInsert(ModelEpoch* epoch, const std::string& key,
+                   const float* vec,
                    const std::vector<retrieval::ScoredEntity>& hits);
 
-  const model::BiEncoder* bi_;
-  const model::CrossEncoder* cross_;
-  const kb::KnowledgeBase* kb_;
-  std::string domain_;
   ServerOptions options_;
 
-  retrieval::DenseIndex index_;
-
-  // Entity-side rerank cache: pooled cross-encoder entity rows + overlap
-  // tokens, plus the id -> cache-row map. Built once in BuildIndex.
-  model::CrossEntityCache cross_cache_;
-  std::unordered_map<kb::EntityId, std::size_t> entity_pos_;
+  // Published model version; guarded by epoch_mu_. Batches snapshot the
+  // shared_ptr and run lock-free against the snapshot.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<ModelEpoch> epoch_;
+  std::uint64_t swaps_ = 0;
 
   // Request queue, guarded by mu_.
   std::mutex mu_;
@@ -165,9 +229,10 @@ class LinkingServer {
   bool stop_ = false;
   std::thread scheduler_;
 
-  // Scheduler-thread-only scratch (never touched by callers). The
-  // per-chunk vectors back the pool-parallel retrieve/rerank stages: chunk
-  // ids from ParallelForChunks are dense, so chunk i owns element i.
+  // Scheduler-thread-only scratch (never touched by callers; model-version
+  // independent). The per-chunk vectors back the pool-parallel
+  // retrieve/rerank stages: chunk ids from ParallelForChunks are dense, so
+  // chunk i owns element i.
   model::EncodeScratch encode_scratch_;
   tensor::Tensor encoded_;
   tensor::Tensor queries_;
@@ -185,13 +250,6 @@ class LinkingServer {
   /// Worker pool for the batch-parallel retrieve and rerank stages; only
   /// the scheduler thread dispatches onto it.
   util::ThreadPool pool_;
-
-  // Feature LRU: key -> list node of (key, feature). Scheduler-thread-only.
-  std::list<std::pair<std::string, CachedFeature>> lru_;
-  std::unordered_map<
-      std::string,
-      std::list<std::pair<std::string, CachedFeature>>::iterator>
-      lru_map_;
 
   // Stats, guarded by stats_mu_ (written by the scheduler, read anywhere).
   mutable std::mutex stats_mu_;

@@ -1,0 +1,208 @@
+#include "store/model_bundle.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace metablink::store {
+
+namespace {
+
+constexpr std::uint32_t kRerankTag = 0x4B4E5252u;  // "RRNK"
+
+// Sets are serialized sorted so identical caches produce identical bytes
+// (and therefore identical CRCs) regardless of hash-table iteration order.
+void SaveStringSet(const std::unordered_set<std::string>& set,
+                   util::BinaryWriter* w) {
+  std::vector<std::string> sorted(set.begin(), set.end());
+  std::sort(sorted.begin(), sorted.end());
+  w->WriteU64(sorted.size());
+  for (const std::string& s : sorted) w->WriteString(s);
+}
+
+util::Status LoadStringSet(util::BinaryReader* r,
+                           std::unordered_set<std::string>* out) {
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(r->ReadU64(&n));
+  out->clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    METABLINK_RETURN_IF_ERROR(r->ReadString(&s));
+    out->insert(std::move(s));
+  }
+  return util::Status::OK();
+}
+
+void SaveRerankCache(const model::CrossEntityCache& cache,
+                     CheckpointWriter* ckpt) {
+  util::BinaryWriter* w = ckpt->AddSection("rerank");
+  w->WriteU32(kRerankTag);
+  w->WriteU64(cache.entity_vec.rows());
+  w->WriteU64(cache.entity_vec.cols());
+  w->WriteFloatVector(cache.entity_vec.data());
+  w->WriteU64(cache.tokens.size());
+  for (const model::CachedEntityTokens& t : cache.tokens) {
+    SaveStringSet(t.title_set, w);
+    SaveStringSet(t.desc_set, w);
+    w->WriteString(t.norm_title);
+    w->WriteString(t.norm_base);
+    w->WriteU32(t.has_phrase ? 1u : 0u);
+  }
+}
+
+util::Status LoadRerankCache(const CheckpointReader& ckpt,
+                             model::CrossEntityCache* out) {
+  auto section = ckpt.Section("rerank");
+  if (!section.ok()) return section.status();
+  std::uint32_t tag = 0;
+  METABLINK_RETURN_IF_ERROR(section->ReadU32(&tag));
+  if (tag != kRerankTag) {
+    return util::Status::InvalidArgument("not a rerank-cache artifact");
+  }
+  std::uint64_t rows = 0, cols = 0;
+  METABLINK_RETURN_IF_ERROR(section->ReadU64(&rows));
+  METABLINK_RETURN_IF_ERROR(section->ReadU64(&cols));
+  std::vector<float> flat;
+  METABLINK_RETURN_IF_ERROR(section->ReadFloatVector(&flat));
+  if (flat.size() != rows * cols) {
+    return util::Status::InvalidArgument("corrupt rerank-cache shape");
+  }
+  std::uint64_t num_tokens = 0;
+  METABLINK_RETURN_IF_ERROR(section->ReadU64(&num_tokens));
+  if (num_tokens != rows) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "rerank cache has %llu token rows for %llu vector rows",
+        static_cast<unsigned long long>(num_tokens),
+        static_cast<unsigned long long>(rows)));
+  }
+  std::vector<model::CachedEntityTokens> tokens(num_tokens);
+  for (model::CachedEntityTokens& t : tokens) {
+    METABLINK_RETURN_IF_ERROR(LoadStringSet(&*section, &t.title_set));
+    METABLINK_RETURN_IF_ERROR(LoadStringSet(&*section, &t.desc_set));
+    METABLINK_RETURN_IF_ERROR(section->ReadString(&t.norm_title));
+    METABLINK_RETURN_IF_ERROR(section->ReadString(&t.norm_base));
+    std::uint32_t has_phrase = 0;
+    METABLINK_RETURN_IF_ERROR(section->ReadU32(&has_phrase));
+    t.has_phrase = has_phrase != 0;
+  }
+  out->entity_vec = tensor::Tensor(static_cast<std::size_t>(rows),
+                                   static_cast<std::size_t>(cols),
+                                   std::move(flat));
+  out->tokens = std::move(tokens);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status SaveModelBundle(const ModelBundleParts& parts,
+                             const std::string& dir) {
+  if (parts.bi == nullptr || parts.cross == nullptr || parts.kb == nullptr ||
+      parts.index == nullptr) {
+    return util::Status::InvalidArgument(
+        "a model bundle needs bi, cross, kb, and index");
+  }
+  BundleWriter bundle(dir);
+  {
+    CheckpointWriter ckpt;
+    parts.bi->SaveCheckpoint(&ckpt);
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("bi_encoder", "bi.ckpt",
+                                                 ckpt));
+  }
+  {
+    CheckpointWriter ckpt;
+    parts.cross->SaveCheckpoint(&ckpt);
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("cross_encoder", "cross.ckpt",
+                                                 ckpt));
+  }
+  {
+    CheckpointWriter ckpt;
+    parts.kb->Save(ckpt.AddSection("kb"));
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("kb", "kb.ckpt", ckpt));
+  }
+  {
+    CheckpointWriter ckpt;
+    parts.index->Save(ckpt.AddSection("index"));
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("index", "index.ckpt", ckpt));
+  }
+  if (parts.rerank_cache != nullptr) {
+    CheckpointWriter ckpt;
+    SaveRerankCache(*parts.rerank_cache, &ckpt);
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("rerank_cache", "rerank.ckpt",
+                                                 ckpt));
+  }
+  return bundle.Finalize(parts.model_version, parts.domain);
+}
+
+util::Result<ModelBundle> LoadModelBundle(const std::string& dir) {
+  auto bundle = BundleReader::Open(dir);
+  if (!bundle.ok()) return bundle.status();
+
+  ModelBundle out;
+  out.model_version = bundle->manifest().model_version;
+  out.domain = bundle->manifest().domain;
+
+  // The loader Rng only seeds throwaway initial weights; LoadCheckpoint
+  // overwrites every value.
+  util::Rng rng(0);
+
+  auto bi_ckpt = bundle->OpenArtifact("bi_encoder");
+  if (!bi_ckpt.ok()) return bi_ckpt.status();
+  auto bi_config = model::BiEncoder::ReadConfig(*bi_ckpt);
+  if (!bi_config.ok()) return bi_config.status();
+  out.bi = std::make_unique<model::BiEncoder>(*bi_config, &rng);
+  METABLINK_RETURN_IF_ERROR(out.bi->LoadCheckpoint(*bi_ckpt));
+
+  auto cross_ckpt = bundle->OpenArtifact("cross_encoder");
+  if (!cross_ckpt.ok()) return cross_ckpt.status();
+  auto cross_config = model::CrossEncoder::ReadConfig(*cross_ckpt);
+  if (!cross_config.ok()) return cross_config.status();
+  out.cross = std::make_unique<model::CrossEncoder>(*cross_config, &rng);
+  METABLINK_RETURN_IF_ERROR(out.cross->LoadCheckpoint(*cross_ckpt));
+
+  auto kb_ckpt = bundle->OpenArtifact("kb");
+  if (!kb_ckpt.ok()) return kb_ckpt.status();
+  auto kb_section = kb_ckpt->Section("kb");
+  if (!kb_section.ok()) return kb_section.status();
+  auto kb = kb::KnowledgeBase::Load(&*kb_section);
+  if (!kb.ok()) return kb.status();
+  out.kb = std::make_unique<kb::KnowledgeBase>(std::move(*kb));
+
+  auto index_ckpt = bundle->OpenArtifact("index");
+  if (!index_ckpt.ok()) return index_ckpt.status();
+  auto index_section = index_ckpt->Section("index");
+  if (!index_section.ok()) return index_section.status();
+  METABLINK_RETURN_IF_ERROR(out.index.Load(&*index_section));
+
+  // Cross-artifact consistency: each artifact passed its own CRC, but a
+  // bundle assembled from mismatched pieces must still be rejected.
+  if (out.kb->EntitiesInDomain(out.domain).empty()) {
+    return util::Status::InvalidArgument(
+        "bundle KB has no entities in served domain '" + out.domain + "'");
+  }
+  for (kb::EntityId id : out.index.ids()) {
+    if (id >= out.kb->num_entities()) {
+      return util::Status::InvalidArgument(
+          "bundle index references entity ids outside its KB");
+    }
+  }
+
+  if (bundle->Has("rerank_cache")) {
+    auto rerank_ckpt = bundle->OpenArtifact("rerank_cache");
+    if (!rerank_ckpt.ok()) return rerank_ckpt.status();
+    METABLINK_RETURN_IF_ERROR(LoadRerankCache(*rerank_ckpt,
+                                              &out.rerank_cache));
+    if (out.rerank_cache.tokens.size() != out.index.size()) {
+      return util::Status::InvalidArgument(
+          "bundle rerank cache does not cover the indexed entity set");
+    }
+    out.has_rerank_cache = true;
+  }
+  return out;
+}
+
+}  // namespace metablink::store

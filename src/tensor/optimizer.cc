@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "util/string_util.h"
+
 namespace metablink::tensor {
+
+namespace {
+
+// Optimizer-state stream tags, so loading the wrong optimizer type (or a
+// non-optimizer section) fails cleanly instead of garbling moments.
+constexpr std::uint32_t kSgdStateTag = 0x4D444753u;   // "SGDM"
+constexpr std::uint32_t kAdamStateTag = 0x4D414441u;  // "ADAM"
+
+}  // namespace
 
 void SgdOptimizer::Step(ParameterStore* store) {
   for (const auto& p : store->parameters()) {
@@ -63,6 +74,100 @@ void AdamOptimizer::Step(ParameterStore* store) {
       for (std::size_t i = 0; i < val.size(); ++i) update(i);
     }
   }
+}
+
+void SgdOptimizer::Save(const ParameterStore& store,
+                        util::BinaryWriter* writer) const {
+  writer->WriteU32(kSgdStateTag);
+  writer->WriteF32(lr_);
+  writer->WriteU64(store.parameters().size());
+  for (const auto& p : store.parameters()) {
+    auto it = velocity_.find(p.get());
+    const bool live = it != velocity_.end();
+    writer->WriteU32(live ? 1u : 0u);
+    if (live) writer->WriteFloatVector(it->second);
+  }
+}
+
+util::Status SgdOptimizer::Load(const ParameterStore& store,
+                                util::BinaryReader* reader) {
+  std::uint32_t tag = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
+  if (tag != kSgdStateTag) {
+    return util::Status::InvalidArgument("not an SGD optimizer state");
+  }
+  METABLINK_RETURN_IF_ERROR(reader->ReadF32(&lr_));
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&n));
+  if (n != store.parameters().size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "optimizer state has %llu parameters, model has %zu",
+        static_cast<unsigned long long>(n), store.parameters().size()));
+  }
+  velocity_.clear();
+  for (const auto& p : store.parameters()) {
+    std::uint32_t live = 0;
+    METABLINK_RETURN_IF_ERROR(reader->ReadU32(&live));
+    if (live == 0) continue;
+    std::vector<float> vel;
+    METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&vel));
+    if (vel.size() != p->value.size()) {
+      return util::Status::InvalidArgument(
+          "optimizer velocity shape mismatch at parameter " + p->name);
+    }
+    velocity_[p.get()] = std::move(vel);
+  }
+  return util::Status::OK();
+}
+
+void AdamOptimizer::Save(const ParameterStore& store,
+                         util::BinaryWriter* writer) const {
+  writer->WriteU32(kAdamStateTag);
+  writer->WriteF32(lr_);
+  writer->WriteI64(t_);
+  writer->WriteU64(store.parameters().size());
+  for (const auto& p : store.parameters()) {
+    auto it = moments_.find(p.get());
+    const bool live = it != moments_.end();
+    writer->WriteU32(live ? 1u : 0u);
+    if (live) {
+      writer->WriteFloatVector(it->second.m);
+      writer->WriteFloatVector(it->second.v);
+    }
+  }
+}
+
+util::Status AdamOptimizer::Load(const ParameterStore& store,
+                                 util::BinaryReader* reader) {
+  std::uint32_t tag = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
+  if (tag != kAdamStateTag) {
+    return util::Status::InvalidArgument("not an Adam optimizer state");
+  }
+  METABLINK_RETURN_IF_ERROR(reader->ReadF32(&lr_));
+  METABLINK_RETURN_IF_ERROR(reader->ReadI64(&t_));
+  std::uint64_t n = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&n));
+  if (n != store.parameters().size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "optimizer state has %llu parameters, model has %zu",
+        static_cast<unsigned long long>(n), store.parameters().size()));
+  }
+  moments_.clear();
+  for (const auto& p : store.parameters()) {
+    std::uint32_t live = 0;
+    METABLINK_RETURN_IF_ERROR(reader->ReadU32(&live));
+    if (live == 0) continue;
+    Moments mom;
+    METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&mom.m));
+    METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&mom.v));
+    if (mom.m.size() != p->value.size() || mom.v.size() != p->value.size()) {
+      return util::Status::InvalidArgument(
+          "optimizer moment shape mismatch at parameter " + p->name);
+    }
+    moments_[p.get()] = std::move(mom);
+  }
+  return util::Status::OK();
 }
 
 }  // namespace metablink::tensor

@@ -22,6 +22,15 @@ class Optimizer {
   /// The current learning rate.
   virtual float learning_rate() const = 0;
   virtual void set_learning_rate(float lr) = 0;
+
+  /// Serializes the full update state (step counters, per-parameter moment
+  /// buffers) in `store`'s parameter order, so a restored optimizer resumes
+  /// bit-identically — Parameter::Save alone drops this state. `store` must
+  /// be the same model the optimizer has been stepping.
+  virtual void Save(const ParameterStore& store,
+                    util::BinaryWriter* writer) const = 0;
+  virtual util::Status Load(const ParameterStore& store,
+                            util::BinaryReader* reader) = 0;
 };
 
 /// Plain SGD with optional momentum and decoupled weight decay.
@@ -34,6 +43,10 @@ class SgdOptimizer : public Optimizer {
   void Step(ParameterStore* store) override;
   float learning_rate() const override { return lr_; }
   void set_learning_rate(float lr) override { lr_ = lr; }
+  void Save(const ParameterStore& store,
+            util::BinaryWriter* writer) const override;
+  util::Status Load(const ParameterStore& store,
+                    util::BinaryReader* reader) override;
 
  private:
   float lr_;
@@ -54,6 +67,10 @@ class AdamOptimizer : public Optimizer {
   void Step(ParameterStore* store) override;
   float learning_rate() const override { return lr_; }
   void set_learning_rate(float lr) override { lr_ = lr; }
+  void Save(const ParameterStore& store,
+            util::BinaryWriter* writer) const override;
+  util::Status Load(const ParameterStore& store,
+                    util::BinaryReader* reader) override;
 
   std::int64_t step_count() const { return t_; }
 

@@ -121,6 +121,15 @@ std::vector<float> ParameterStore::FlattenValues() const {
   return out;
 }
 
+std::uint32_t ParameterStore::ValuesCrc32() const {
+  std::uint32_t crc = 0;
+  for (const auto& p : params_) {
+    crc = util::Crc32(p->value.data().data(),
+                      p->value.data().size() * sizeof(float), crc);
+  }
+  return crc;
+}
+
 util::Status ParameterStore::LoadValues(const std::vector<float>& flat) {
   if (flat.size() != TotalSize()) {
     return util::Status::InvalidArgument(util::StrFormat(

@@ -98,6 +98,12 @@ class ParameterStore {
   std::vector<float> FlattenValues() const;
   util::Status LoadValues(const std::vector<float>& flat);
 
+  /// CRC-32 over every parameter's raw value bytes in registration order.
+  /// Two stores with identical weights have identical checksums, which is
+  /// how the resume-parity tests and the checkpoint smoke gate assert
+  /// bit-identity without holding both models in memory.
+  std::uint32_t ValuesCrc32() const;
+
   /// Serializes names, shapes and values.
   void Save(util::BinaryWriter* writer) const;
 

@@ -4,11 +4,18 @@
 #include <numeric>
 
 #include "analysis/graph_lint.h"
+#include "train/trainer_checkpoint.h"
 #include "util/logging.h"
 
 namespace metablink::train {
 
-BiEncoderTrainer::BiEncoderTrainer(TrainOptions options) : options_(options) {}
+namespace {
+// Trainer-type tag ("BITR") namespacing bi-encoder checkpoints.
+constexpr std::uint32_t kBiTrainerTag = 0x52544942u;
+}  // namespace
+
+BiEncoderTrainer::BiEncoderTrainer(TrainOptions options)
+    : options_(std::move(options)) {}
 
 util::Result<TrainResult> BiEncoderTrainer::Train(
     model::BiEncoder* model, const kb::KnowledgeBase& kb,
@@ -28,7 +35,24 @@ util::Result<TrainResult> BiEncoderTrainer::Train(
   std::vector<std::size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
 
-  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  std::size_t start_epoch = 0;
+  if (!options_.checkpoint_path.empty() &&
+      CheckpointExists(options_.checkpoint_path)) {
+    auto state = LoadEpochCheckpoint(kBiTrainerTag, options_.checkpoint_path,
+                                     model->params(), &optimizer, &rng);
+    if (!state.ok()) return state.status();
+    if (state->order.size() != examples.size()) {
+      return util::Status::InvalidArgument(
+          "checkpoint shuffle order does not match the example count");
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::size_t>(state->order[i]);
+    }
+    start_epoch = state->next_epoch;
+    result = std::move(state->result);
+  }
+
+  for (std::size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     std::size_t epoch_batches = 0;
@@ -79,6 +103,15 @@ util::Result<TrainResult> BiEncoderTrainer::Train(
       result.epoch_losses.push_back(epoch_loss /
                                     static_cast<double>(epoch_batches));
       result.final_epoch_loss = result.epoch_losses.back();
+    }
+    if (!options_.checkpoint_path.empty()) {
+      EpochCheckpointState state;
+      state.next_epoch = epoch + 1;
+      state.order.assign(order.begin(), order.end());
+      state.result = result;
+      METABLINK_RETURN_IF_ERROR(
+          SaveEpochCheckpoint(kBiTrainerTag, state, *model->params(),
+                              optimizer, rng, options_.checkpoint_path));
     }
     if (options_.max_steps > 0 && result.steps >= options_.max_steps) break;
   }

@@ -2,6 +2,7 @@
 #define METABLINK_TRAIN_BI_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/example.h"
@@ -21,6 +22,12 @@ struct TrainOptions {
   std::uint64_t seed = 7;
   /// Optional cap on total optimization steps (0 = no cap).
   std::size_t max_steps = 0;
+  /// When non-empty, Train() writes its full state (model parameters,
+  /// optimizer moments, Rng stream, loop counters) to this path at every
+  /// epoch boundary and auto-resumes from it when the file already exists,
+  /// replaying the remaining epochs bit-identically to an uninterrupted
+  /// run. A present-but-corrupt file fails the run instead of restarting.
+  std::string checkpoint_path{};
 };
 
 /// Summary returned by trainers.

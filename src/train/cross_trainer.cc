@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "train/trainer_checkpoint.h"
+
 namespace metablink::train {
+
+namespace {
+// Trainer-type tag ("CRTR") namespacing cross-encoder checkpoints.
+constexpr std::uint32_t kCrossTrainerTag = 0x52545243u;
+}  // namespace
 
 std::vector<CrossInstance> MineCrossTrainingSet(
     const std::vector<data::LinkingExample>& examples,
@@ -59,7 +66,25 @@ util::Result<TrainResult> CrossEncoderTrainer::Train(
   std::vector<std::size_t> order(instances.size());
   std::iota(order.begin(), order.end(), 0);
 
-  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  std::size_t start_epoch = 0;
+  if (!options_.checkpoint_path.empty() &&
+      CheckpointExists(options_.checkpoint_path)) {
+    auto state = LoadEpochCheckpoint(kCrossTrainerTag,
+                                     options_.checkpoint_path,
+                                     model->params(), &optimizer, &rng);
+    if (!state.ok()) return state.status();
+    if (state->order.size() != instances.size()) {
+      return util::Status::InvalidArgument(
+          "checkpoint shuffle order does not match the instance count");
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::size_t>(state->order[i]);
+    }
+    start_epoch = state->next_epoch;
+    result = std::move(state->result);
+  }
+
+  for (std::size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     std::size_t counted = 0;
@@ -85,6 +110,15 @@ util::Result<TrainResult> CrossEncoderTrainer::Train(
     if (counted > 0) {
       result.epoch_losses.push_back(epoch_loss / static_cast<double>(counted));
       result.final_epoch_loss = result.epoch_losses.back();
+    }
+    if (!options_.checkpoint_path.empty()) {
+      EpochCheckpointState state;
+      state.next_epoch = epoch + 1;
+      state.order.assign(order.begin(), order.end());
+      state.result = result;
+      METABLINK_RETURN_IF_ERROR(
+          SaveEpochCheckpoint(kCrossTrainerTag, state, *model->params(),
+                              optimizer, rng, options_.checkpoint_path));
     }
     if (options_.max_steps > 0 && result.steps >= options_.max_steps) break;
   }

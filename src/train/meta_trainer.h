@@ -2,17 +2,21 @@
 #define METABLINK_TRAIN_META_TRAINER_H_
 
 #include <algorithm>
+#include <array>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/graph_lint.h"
 #include "data/example.h"
+#include "store/checkpoint.h"
 #include "tensor/grad_workspace.h"
 #include "tensor/graph.h"
 #include "tensor/optimizer.h"
 #include "tensor/parameter.h"
 #include "train/cross_trainer.h"
+#include "train/trainer_checkpoint.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -57,6 +61,15 @@ struct MetaTrainOptions {
   /// benchmark/debugging baseline that visits every node like the
   /// original implementation.
   bool sparse_backward = true;
+  /// When non-empty, Train() writes the full trainer state (model
+  /// parameters, Adam moments, Rng stream, step counter, selection stats)
+  /// to this path every `checkpoint_every` steps and auto-resumes from it
+  /// when the file already exists — a killed run continues bit-identically
+  /// from the last saved step. A present-but-corrupt file fails the run
+  /// instead of silently restarting it.
+  std::string checkpoint_path{};
+  /// Checkpoint cadence in steps (used only with checkpoint_path).
+  std::size_t checkpoint_every = 25;
 };
 
 /// Per-source selection statistics: how often examples from a source
@@ -251,8 +264,90 @@ class MetaReweightTrainerT {
     return weights;
   }
 
+  /// Serializes the complete training state — step counter, selection
+  /// stats, model parameters, Adam moments, and the Rng stream — so a
+  /// reloaded trainer continues bit-identically.
+  void SaveCheckpoint(store::CheckpointWriter* ckpt) const {
+    util::BinaryWriter* w = ckpt->AddSection("meta_trainer");
+    w->WriteU32(kMetaTrainerTag);
+    w->WriteU64(result_.steps);
+    w->WriteF64(result_.final_synthetic_loss);
+    w->WriteF64(result_.final_seed_loss);
+    // Selection stats sorted by source id so identical states produce
+    // identical bytes regardless of hash-map iteration order.
+    std::vector<std::pair<std::uint32_t, SelectionStats>> entries;
+    for (const auto& [source, stats] : result_.selection) {
+      entries.emplace_back(static_cast<std::uint32_t>(source), stats);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w->WriteU64(entries.size());
+    for (const auto& [source, stats] : entries) {
+      w->WriteU32(source);
+      w->WriteU64(stats.seen);
+      w->WriteU64(stats.selected);
+      w->WriteF64(stats.weight_mass);
+    }
+    params_->Save(ckpt->AddSection("model_params"));
+    optimizer_.Save(*params_, ckpt->AddSection("optimizer"));
+    util::BinaryWriter* rng = ckpt->AddSection("rng");
+    for (std::uint64_t word : rng_.state()) rng->WriteU64(word);
+  }
+
+  /// Restores what SaveCheckpoint wrote, in place.
+  util::Status LoadCheckpoint(const store::CheckpointReader& ckpt) {
+    auto trainer = ckpt.Section("meta_trainer");
+    if (!trainer.ok()) return trainer.status();
+    std::uint32_t tag = 0;
+    METABLINK_RETURN_IF_ERROR(trainer->ReadU32(&tag));
+    if (tag != kMetaTrainerTag) {
+      return util::Status::InvalidArgument(
+          "checkpoint was written by a different trainer type");
+    }
+    MetaTrainResult result;
+    std::uint64_t steps = 0;
+    METABLINK_RETURN_IF_ERROR(trainer->ReadU64(&steps));
+    result.steps = static_cast<std::size_t>(steps);
+    METABLINK_RETURN_IF_ERROR(trainer->ReadF64(&result.final_synthetic_loss));
+    METABLINK_RETURN_IF_ERROR(trainer->ReadF64(&result.final_seed_loss));
+    std::uint64_t num_sources = 0;
+    METABLINK_RETURN_IF_ERROR(trainer->ReadU64(&num_sources));
+    for (std::uint64_t i = 0; i < num_sources; ++i) {
+      std::uint32_t source = 0;
+      SelectionStats stats;
+      std::uint64_t seen = 0, selected = 0;
+      METABLINK_RETURN_IF_ERROR(trainer->ReadU32(&source));
+      METABLINK_RETURN_IF_ERROR(trainer->ReadU64(&seen));
+      METABLINK_RETURN_IF_ERROR(trainer->ReadU64(&selected));
+      METABLINK_RETURN_IF_ERROR(trainer->ReadF64(&stats.weight_mass));
+      stats.seen = static_cast<std::size_t>(seen);
+      stats.selected = static_cast<std::size_t>(selected);
+      result.selection[static_cast<data::ExampleSource>(source)] = stats;
+    }
+
+    auto model_params = ckpt.Section("model_params");
+    if (!model_params.ok()) return model_params.status();
+    METABLINK_RETURN_IF_ERROR(params_->Load(&*model_params));
+
+    auto opt = ckpt.Section("optimizer");
+    if (!opt.ok()) return opt.status();
+    METABLINK_RETURN_IF_ERROR(optimizer_.Load(*params_, &*opt));
+
+    auto rng = ckpt.Section("rng");
+    if (!rng.ok()) return rng.status();
+    std::array<std::uint64_t, 4> state{};
+    for (std::uint64_t& word : state) {
+      METABLINK_RETURN_IF_ERROR(rng->ReadU64(&word));
+    }
+    rng_.set_state(state);
+    result_ = std::move(result);
+    return util::Status::OK();
+  }
+
   /// Runs `options.steps` reweighted steps, sampling batches from
-  /// `synthetic` (D_f) and `seed_set` (D_g).
+  /// `synthetic` (D_f) and `seed_set` (D_g). With checkpoint_path set, a
+  /// rerun after a kill resumes from the last saved step instead of
+  /// starting over.
   util::Result<MetaTrainResult> Train(
       const std::vector<InstanceT>& synthetic,
       const std::vector<InstanceT>& seed_set) {
@@ -263,7 +358,14 @@ class MetaReweightTrainerT {
     if (seed_set.empty()) {
       return util::Status::InvalidArgument("seed set is empty");
     }
-    for (std::size_t step = 0; step < options_.steps; ++step) {
+    if (!options_.checkpoint_path.empty() &&
+        CheckpointExists(options_.checkpoint_path)) {
+      auto ckpt =
+          store::CheckpointReader::FromFile(options_.checkpoint_path);
+      if (!ckpt.ok()) return ckpt.status();
+      METABLINK_RETURN_IF_ERROR(LoadCheckpoint(*ckpt));
+    }
+    for (std::size_t step = result_.steps; step < options_.steps; ++step) {
       std::vector<InstanceT> synthetic_batch;
       for (std::size_t idx : rng_.SampleIndices(
                synthetic.size(),
@@ -278,6 +380,14 @@ class MetaReweightTrainerT {
       }
       auto weights = Step(synthetic_batch, seed_batch);
       if (!weights.ok()) return weights.status();
+      if (!options_.checkpoint_path.empty() &&
+          options_.checkpoint_every > 0 &&
+          result_.steps % options_.checkpoint_every == 0) {
+        store::CheckpointWriter ckpt;
+        SaveCheckpoint(&ckpt);
+        METABLINK_RETURN_IF_ERROR(
+            ckpt.WriteToFile(options_.checkpoint_path));
+      }
     }
     return result_;
   }
@@ -285,6 +395,9 @@ class MetaReweightTrainerT {
   const MetaTrainResult& result() const { return result_; }
 
  private:
+  // Trainer-type tag ("METR") namespacing meta-reweight checkpoints.
+  static constexpr std::uint32_t kMetaTrainerTag = 0x5254454Du;
+
   MetaTrainOptions options_;
   tensor::ParameterStore* params_;
   LossFn loss_fn_;

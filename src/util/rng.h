@@ -1,6 +1,7 @@
 #ifndef METABLINK_UTIL_RNG_H_
 #define METABLINK_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
 #include <vector>
@@ -63,6 +64,12 @@ class Rng {
   /// Derives an independent child generator; use to give each component its
   /// own stream without sequencing coupling.
   Rng Fork();
+
+  /// The full generator state, for checkpointing. Restoring it with
+  /// set_state() resumes the stream exactly where state() captured it (the
+  /// Zipf table is a pure cache keyed by its inputs and needs no saving).
+  std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

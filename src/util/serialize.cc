@@ -1,5 +1,8 @@
 #include "util/serialize.h"
 
+#include <unistd.h>
+
+#include <array>
 #include <cstdio>
 
 #include "util/string_util.h"
@@ -12,7 +15,29 @@ void AppendRaw(std::vector<std::uint8_t>* buf, T v) {
   const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
   buf->insert(buf->end(), p, p + sizeof(T));
 }
+
+std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
 }  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = MakeCrc32Table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 void BinaryWriter::WriteU32(std::uint32_t v) { AppendRaw(&buffer_, v); }
 void BinaryWriter::WriteU64(std::uint64_t v) { AppendRaw(&buffer_, v); }
@@ -43,15 +68,34 @@ void BinaryWriter::WriteByteVector(const std::vector<std::int8_t>& v) {
   buffer_.insert(buffer_.end(), p, p + v.size());
 }
 
+void BinaryWriter::WriteRaw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
+}
+
 Status BinaryWriter::WriteToFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Temp-file + rename: `path` is only ever replaced by a fully flushed
+  // file, so a crash at any point leaves the previous contents readable.
+  // The temp lives next to the target (rename must not cross filesystems).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError(StrFormat("cannot open %s for writing", path.c_str()));
+    return Status::IoError(StrFormat("cannot open %s for writing", tmp.c_str()));
   }
-  std::size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
-  std::fclose(f);
-  if (written != buffer_.size()) {
-    return Status::IoError(StrFormat("short write to %s", path.c_str()));
+  const std::size_t written =
+      buffer_.empty() ? 0 : std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  bool ok = written == buffer_.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("short write to %s", tmp.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("cannot rename %s over %s", tmp.c_str(), path.c_str()));
   }
   return Status::OK();
 }
@@ -134,6 +178,15 @@ Status BinaryReader::ReadByteVector(std::vector<std::int8_t>* out) {
   }
   out->resize(static_cast<std::size_t>(n));
   return ReadRaw(out->data(), out->size());
+}
+
+Status BinaryReader::ReadBytes(std::size_t n, std::vector<std::uint8_t>* out) {
+  if (n > data_.size() - pos_) {  // overflow-safe bound check
+    return Status::OutOfRange("truncated raw bytes");
+  }
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return Status::OK();
 }
 
 }  // namespace metablink::util

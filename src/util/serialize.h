@@ -10,6 +10,11 @@
 
 namespace metablink::util {
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `n` bytes. Pass a prior
+/// result as `seed` to continue a running checksum over multiple buffers.
+/// Used by the checkpoint container format for per-section integrity.
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
 /// Append-only little-endian binary encoder used for model checkpoints and
 /// knowledge-base snapshots.
 class BinaryWriter {
@@ -24,11 +29,18 @@ class BinaryWriter {
   void WriteU32Vector(const std::vector<std::uint32_t>& v);
   /// Length-prefixed raw byte blob (int8 index payloads, packed structs).
   void WriteByteVector(const std::vector<std::int8_t>& v);
+  /// Appends `n` bytes verbatim — no length prefix. Used by the checkpoint
+  /// container to splice already-encoded section payloads.
+  void WriteRaw(const void* data, std::size_t n);
 
   const std::vector<std::uint8_t>& buffer() const { return buffer_; }
   std::vector<std::uint8_t> TakeBuffer() { return std::move(buffer_); }
 
-  /// Writes the accumulated buffer to `path`.
+  /// Writes the accumulated buffer to `path` crash-safely: the bytes go to
+  /// `path + ".tmp"`, are flushed and fsync'd, and only then renamed over
+  /// `path`. A crash mid-write leaves either the old file or the stray temp
+  /// file, never a torn `path`; on any failure the temp file is deleted and
+  /// the previous `path` contents are untouched.
   Status WriteToFile(const std::string& path) const;
 
  private:
@@ -54,9 +66,13 @@ class BinaryReader {
   Status ReadFloatVector(std::vector<float>* out);
   Status ReadU32Vector(std::vector<std::uint32_t>* out);
   Status ReadByteVector(std::vector<std::int8_t>* out);
+  /// Reads exactly `n` raw bytes (no length prefix) into `*out`.
+  Status ReadBytes(std::size_t n, std::vector<std::uint8_t>* out);
 
   /// True when all bytes have been consumed.
   bool AtEnd() const { return pos_ == data_.size(); }
+  /// Bytes not yet consumed.
+  std::size_t Remaining() const { return data_.size() - pos_; }
 
  private:
   Status ReadRaw(void* dst, std::size_t n);

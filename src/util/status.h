@@ -20,6 +20,9 @@ enum class StatusCode : std::uint8_t {
   kIoError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  /// Stored data failed an integrity check (checksum mismatch, torn file):
+  /// the bytes were readable but cannot be trusted.
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -65,6 +68,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

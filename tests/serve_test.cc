@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -9,6 +13,7 @@
 #include "core/pipeline.h"
 #include "data/generator.h"
 #include "serve/linking_server.h"
+#include "store/model_bundle.h"
 
 namespace metablink::serve {
 namespace {
@@ -50,6 +55,31 @@ class ServeTest : public ::testing::Test {
     // Randomly initialized (untrained) encoders: parity and serving-path
     // behavior do not depend on trained weights.
     pipeline_ = std::make_unique<core::MetaBlinkPipeline>(TestConfig());
+  }
+
+  /// Packages one pipeline's components as an artifact bundle under `dir`.
+  void SaveBundle(const core::MetaBlinkPipeline& pipeline,
+                  const std::string& dir, std::uint64_t version) {
+    const auto& ids = corpus_->kb.EntitiesInDomain("target");
+    retrieval::DenseIndex index;
+    ASSERT_TRUE(index
+                    .Build(pipeline.bi_encoder()->EmbedEntityIds(
+                               ids, corpus_->kb),
+                           ids)
+                    .ok());
+    std::vector<kb::Entity> entities;
+    for (kb::EntityId id : ids) entities.push_back(corpus_->kb.entity(id));
+    model::CrossEntityCache cache;
+    pipeline.cross_encoder()->PrecomputeEntities(entities, &cache);
+    store::ModelBundleParts parts;
+    parts.model_version = version;
+    parts.domain = "target";
+    parts.bi = pipeline.bi_encoder();
+    parts.cross = pipeline.cross_encoder();
+    parts.kb = &corpus_->kb;
+    parts.index = &index;
+    parts.rerank_cache = &cache;
+    ASSERT_TRUE(store::SaveModelBundle(parts, dir).ok());
   }
 
   std::unique_ptr<data::Corpus> corpus_;
@@ -335,6 +365,226 @@ TEST_F(ServeTest, FittedLinkerEdgeCasesAndConcurrentLink) {
   for (std::size_t i = 0; i < direct->size(); ++i) {
     EXPECT_EQ((*direct)[i].entity_id, (*served)[i].entity_id);
     EXPECT_NEAR((*direct)[i].score, (*served)[i].score, 1e-6);
+  }
+}
+
+// ---- Bundles & hot swap ----------------------------------------------------
+
+TEST_F(ServeTest, FromBundleMatchesCreate) {
+  const std::string dir = ::testing::TempDir() + "metablink_serve_bundle_a";
+  SaveBundle(*pipeline_, dir, /*version=*/11);
+  ServerOptions opts;
+  opts.retrieve_k = 16;
+  auto from_bundle = LinkingServer::FromBundle(dir, opts);
+  ASSERT_TRUE(from_bundle.ok()) << from_bundle.status().message();
+  auto direct =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "target", opts);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*from_bundle)->index_size(), (*direct)->index_size());
+  EXPECT_EQ((*from_bundle)->Stats().model_version, 11u);
+  EXPECT_EQ((*direct)->Stats().model_version, 0u);
+  for (std::size_t e = 0; e < 5; ++e) {
+    const auto& ex = split_.test[e];
+    auto a = (*from_bundle)->Link(ex.mention, ex.left_context,
+                                  ex.right_context, 5);
+    auto b = (*direct)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].entity_id, (*b)[i].entity_id);
+      EXPECT_EQ((*a)[i].score, (*b)[i].score);
+      EXPECT_EQ((*a)[i].title, (*b)[i].title);
+    }
+  }
+}
+
+TEST_F(ServeTest, SwapModelServesTheNewModel) {
+  // Two differently-initialized models over the same KB.
+  core::PipelineConfig other_config = TestConfig();
+  other_config.seed = 999;
+  core::MetaBlinkPipeline other(other_config);
+  const std::string dir_a = ::testing::TempDir() + "metablink_serve_swap_a";
+  const std::string dir_b = ::testing::TempDir() + "metablink_serve_swap_b";
+  SaveBundle(*pipeline_, dir_a, /*version=*/1);
+  SaveBundle(other, dir_b, /*version=*/2);
+
+  ServerOptions opts;
+  opts.retrieve_k = 16;
+  auto server = LinkingServer::FromBundle(dir_a, opts);
+  ASSERT_TRUE(server.ok());
+  auto reference_b = LinkingServer::FromBundle(dir_b, opts);
+  ASSERT_TRUE(reference_b.ok());
+
+  const auto& ex = split_.test.front();
+  auto before = (*server)->Link(ex.mention, ex.left_context, ex.right_context);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*server)->SwapModel(dir_b).ok());
+  const ServerStats stats = (*server)->Stats();
+  EXPECT_EQ(stats.model_version, 2u);
+  EXPECT_EQ(stats.swaps, 1u);
+
+  auto after = (*server)->Link(ex.mention, ex.left_context, ex.right_context);
+  auto want = (*reference_b)->Link(ex.mention, ex.left_context,
+                                   ex.right_context);
+  ASSERT_TRUE(after.ok() && want.ok());
+  ASSERT_EQ(after->size(), want->size());
+  for (std::size_t i = 0; i < want->size(); ++i) {
+    EXPECT_EQ((*after)[i].entity_id, (*want)[i].entity_id);
+    EXPECT_EQ((*after)[i].score, (*want)[i].score);
+  }
+}
+
+TEST_F(ServeTest, SwapHammerEveryResponseMatchesOldOrNewModel) {
+  // The hot-swap acceptance test: 8 client threads hammer Link while the
+  // main thread swaps between two model versions several times. Every
+  // response must exactly equal what version A or version B computes for
+  // that probe — a mixed-version response (new scores over an old index,
+  // stale LRU entries, torn epoch) fails the equality against both. Run
+  // under METABLINK_SANITIZE=thread this also vets the epoch publication.
+  core::PipelineConfig other_config = TestConfig();
+  other_config.seed = 999;
+  core::MetaBlinkPipeline other(other_config);
+  const std::string dir_a = ::testing::TempDir() + "metablink_serve_hammer_a";
+  const std::string dir_b = ::testing::TempDir() + "metablink_serve_hammer_b";
+  SaveBundle(*pipeline_, dir_a, /*version=*/1);
+  SaveBundle(other, dir_b, /*version=*/2);
+
+  ServerOptions opts;
+  opts.retrieve_k = 8;
+  opts.max_batch = 8;
+  opts.flush_deadline_us = 200;
+  opts.cache_capacity = 32;
+
+  // Per-probe reference answers from each version.
+  constexpr std::size_t kProbes = 10;
+  constexpr std::size_t kTopK = 3;
+  std::vector<std::vector<core::LinkPrediction>> ref_a(kProbes);
+  std::vector<std::vector<core::LinkPrediction>> ref_b(kProbes);
+  {
+    auto sa = LinkingServer::FromBundle(dir_a, opts);
+    auto sb = LinkingServer::FromBundle(dir_b, opts);
+    ASSERT_TRUE(sa.ok() && sb.ok());
+    for (std::size_t p = 0; p < kProbes; ++p) {
+      const auto& ex = split_.test[p];
+      auto a = (*sa)->Link(ex.mention, ex.left_context, ex.right_context,
+                           kTopK);
+      auto b = (*sb)->Link(ex.mention, ex.left_context, ex.right_context,
+                           kTopK);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ref_a[p] = *std::move(a);
+      ref_b[p] = *std::move(b);
+      // The two versions must actually disagree somewhere for the "old or
+      // new, never a mix" check to have teeth.
+    }
+  }
+  bool versions_differ = false;
+  for (std::size_t p = 0; p < kProbes && !versions_differ; ++p) {
+    for (std::size_t i = 0; i < ref_a[p].size() && i < ref_b[p].size(); ++i) {
+      if (ref_a[p][i].entity_id != ref_b[p][i].entity_id ||
+          ref_a[p][i].score != ref_b[p][i].score) {
+        versions_differ = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(versions_differ);
+
+  auto server = LinkingServer::FromBundle(dir_a, opts);
+  ASSERT_TRUE(server.ok());
+
+  const auto matches = [&](const std::vector<core::LinkPrediction>& got,
+                           const std::vector<core::LinkPrediction>& want) {
+    if (got.size() != want.size()) return false;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].entity_id != want[i].entity_id ||
+          got[i].score != want[i].score) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 24;
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> mixed{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kPerThread; ++r) {
+        const std::size_t p = (t + 3 * r) % kProbes;
+        const auto& ex = split_.test[p];
+        auto got = (*server)->Link(ex.mention, ex.left_context,
+                                   ex.right_context, kTopK);
+        if (!got.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!matches(*got, ref_a[p]) && !matches(*got, ref_b[p])) {
+          mixed.fetch_add(1);
+        }
+      }
+    });
+  }
+  // >= 3 swaps while the hammer runs: A -> B -> A -> B.
+  std::size_t swaps_done = 0;
+  for (const std::string* dir : {&dir_b, &dir_a, &dir_b}) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    ASSERT_TRUE((*server)->SwapModel(*dir).ok());
+    ++swaps_done;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mixed.load(), 0u);
+
+  const ServerStats stats = (*server)->Stats();
+  EXPECT_EQ(stats.swaps, swaps_done);
+  EXPECT_EQ(stats.model_version, 2u);
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+}
+
+TEST_F(ServeTest, CorruptBundleIsRejectedAndServingContinues) {
+  const std::string dir_a = ::testing::TempDir() + "metablink_serve_keep_a";
+  const std::string dir_bad = ::testing::TempDir() + "metablink_serve_keep_bad";
+  SaveBundle(*pipeline_, dir_a, /*version=*/1);
+  SaveBundle(*pipeline_, dir_bad, /*version=*/2);
+  // Flip one byte in an artifact of the "new" bundle.
+  {
+    const std::string victim = dir_bad + "/cross.ckpt";
+    std::vector<char> bytes;
+    {
+      std::ifstream in(victim, std::ios::binary);
+      bytes.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  ServerOptions opts;
+  opts.retrieve_k = 16;
+  auto server = LinkingServer::FromBundle(dir_a, opts);
+  ASSERT_TRUE(server.ok());
+  const auto& ex = split_.test.front();
+  auto before = (*server)->Link(ex.mention, ex.left_context, ex.right_context);
+  ASSERT_TRUE(before.ok());
+
+  EXPECT_FALSE((*server)->SwapModel(dir_bad).ok());
+  EXPECT_FALSE((*server)->SwapModel("/no/such/bundle").ok());
+
+  // Old version keeps serving, unchanged.
+  const ServerStats stats = (*server)->Stats();
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(stats.model_version, 1u);
+  auto after = (*server)->Link(ex.mention, ex.left_context, ex.right_context);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), before->size());
+  for (std::size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*after)[i].entity_id, (*before)[i].entity_id);
+    EXPECT_EQ((*after)[i].score, (*before)[i].score);
   }
 }
 

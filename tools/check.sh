@@ -15,6 +15,10 @@
 #                   end-to-end run of the inference engine that exits
 #                   non-zero if tape vs tape-free parity or int8 recall
 #                   drifts
+#   7. checkpoint — bench_checkpoint --smoke from stage 1's tree: checkpoint
+#                   round-trip + kill/resume bit-identity gates and the
+#                   hot-swap hammer (exit 1 if any Link fails or a swap
+#                   doesn't publish)
 #
 # Fails fast: the first failing stage stops the run; a summary table of
 # per-stage PASS/FAIL/SKIP status is always printed on exit.
@@ -26,7 +30,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-STAGES=(default asan-ubsan tsan clang-tidy graphlint serving)
+STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint)
 declare -A STATUS
 for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
 
@@ -94,6 +98,15 @@ echo "== stage: serving =="
 ./build-check-default/bench/bench_serving --smoke /tmp/metablink-smoke-serving.json \
   || fail serving
 STATUS[serving]="PASS"
+
+echo
+echo "== stage: checkpoint =="
+# Reduced checkpoint/store run: framed-container round-trip and meta-reweight
+# kill/resume bit-identity gates, plus the SwapModel hammer (every Link must
+# succeed and every swap must publish).
+./build-check-default/bench/bench_checkpoint --smoke /tmp/metablink-smoke-checkpoint.json \
+  || fail checkpoint
+STATUS[checkpoint]="PASS"
 
 echo
 echo "check.sh: all stages passed (or were skipped)"
