@@ -1,0 +1,576 @@
+#include "retrieval/clustered_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "retrieval/score_kernel.h"
+#include "store/checkpoint.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace metablink::retrieval {
+
+namespace {
+
+constexpr std::uint32_t kClusteredTag = 0x46564943u;  // "CIVF"
+constexpr std::uint32_t kClusteredVersion = 1;
+
+// Points scored per assignment tile. 32 rows of d=128 floats (16 KiB) stay
+// cache-resident while the centroid panel (up to ~sqrt(1M) rows) streams.
+constexpr std::size_t kAssignBlock = 32;
+
+// Strict total order on hits: higher score first, ascending id on ties.
+// Shared by every selection in this file so the probe-all result is
+// identical to DenseIndex's exhaustive scan and sharded merges are
+// insertion-order independent.
+bool Better(const ScoredEntity& a, const ScoredEntity& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// Bounded selection: keeps the `cap` Better-most candidates ever offered,
+// regardless of offer order (the root is the worst retained entry).
+void OfferCandidate(const ScoredEntity& cand, std::size_t cap,
+                    std::vector<ScoredEntity>* heap) {
+  if (heap->size() < cap) {
+    heap->push_back(cand);
+    std::push_heap(heap->begin(), heap->end(), Better);
+  } else if (Better(cand, heap->front())) {
+    std::pop_heap(heap->begin(), heap->end(), Better);
+    heap->back() = cand;
+    std::push_heap(heap->begin(), heap->end(), Better);
+  }
+}
+
+// Sorts heap contents best-first into `*out` and clears the heap.
+void DrainHeap(std::vector<ScoredEntity>* heap,
+               std::vector<ScoredEntity>* out) {
+  std::sort_heap(heap->begin(), heap->end(), Better);
+  out->assign(heap->begin(), heap->end());
+  heap->clear();
+}
+
+// Nearest-centroid assignment for `count` contiguous points: each point p
+// gets argmax_c (p·c − ½‖c‖²), ties to the lowest cluster id — the inner-
+// product form of Euclidean argmin, so Lloyd still converges. Per-point
+// results are independent, so any chunking over `pool` produces the same
+// assignment as the serial loop.
+void AssignPoints(const float* points, std::size_t count,
+                  const tensor::Tensor& centroids,
+                  const std::vector<float>& half_cnorm,
+                  util::ThreadPool* pool, std::vector<std::uint32_t>* assign,
+                  std::vector<float>* best_score) {
+  const std::size_t d = centroids.cols();
+  const std::size_t kc = centroids.rows();
+  assign->resize(count);
+  best_score->resize(count);
+  const std::size_t nblocks = (count + kAssignBlock - 1) / kAssignBlock;
+  auto run_block = [&](std::size_t b, std::vector<float>* tile) {
+    const std::size_t p0 = b * kAssignBlock;
+    const std::size_t pn = std::min(kAssignBlock, count - p0);
+    internal::ScoreTileF32(points + p0 * d, centroids.row_data(0),
+                           tile->data(), pn, d, kc);
+    for (std::size_t i = 0; i < pn; ++i) {
+      const float* trow = tile->data() + i * kc;
+      std::uint32_t best_c = 0;
+      float best_s = trow[0] - half_cnorm[0];
+      for (std::size_t c = 1; c < kc; ++c) {
+        const float s = trow[c] - half_cnorm[c];
+        if (s > best_s) {  // strict: ties keep the lowest cluster id
+          best_s = s;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      (*assign)[p0 + i] = best_c;
+      (*best_score)[p0 + i] = best_s;
+    }
+  };
+  if (pool != nullptr && nblocks > 1) {
+    pool->ParallelForChunks(
+        nblocks, 0, [&](std::size_t, std::size_t b0, std::size_t b1) {
+          std::vector<float> tile(kAssignBlock * kc);
+          for (std::size_t b = b0; b < b1; ++b) run_block(b, &tile);
+        });
+  } else {
+    std::vector<float> tile(kAssignBlock * kc);
+    for (std::size_t b = 0; b < nblocks; ++b) run_block(b, &tile);
+  }
+}
+
+void RecomputeHalfNorms(const tensor::Tensor& centroids,
+                        std::vector<float>* half_cnorm) {
+  const std::size_t kc = centroids.rows();
+  const std::size_t d = centroids.cols();
+  half_cnorm->resize(kc);
+  for (std::size_t c = 0; c < kc; ++c) {
+    const float* row = centroids.row_data(c);
+    (*half_cnorm)[c] = 0.5f * tensor::Dot(row, row, d);
+  }
+}
+
+}  // namespace
+
+util::Status ClusteredIndex::Build(const DenseIndex& base,
+                                   const ClusteredIndexOptions& options,
+                                   util::ThreadPool* pool) {
+  if (!base.built()) {
+    return util::Status::InvalidArgument(
+        "cannot cluster an unbuilt DenseIndex");
+  }
+  const std::size_t n = base.size();
+  const std::size_t d = base.dim();
+  std::size_t kc = options.num_clusters;
+  if (kc == 0) {
+    kc = static_cast<std::size_t>(
+        std::llround(std::sqrt(static_cast<double>(n))));
+  }
+  kc = std::clamp<std::size_t>(kc, 1, n);
+
+  // Deterministic training sample: at most max_train_points rows (never
+  // fewer than kc so init can pick distinct seeds), gathered contiguously
+  // in ascending row order so tile scoring sees one dense matrix.
+  util::Rng rng(options.seed);
+  const std::size_t limit =
+      std::min(n, std::max(options.max_train_points, kc));
+  const float* train_data = base.EmbeddingAt(0);
+  std::size_t train_n = n;
+  tensor::Tensor gathered;
+  if (limit < n) {
+    std::vector<std::size_t> sample = rng.SampleIndices(n, limit);
+    std::sort(sample.begin(), sample.end());
+    gathered = tensor::Tensor(sample.size(), d);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      std::memcpy(gathered.row_data(i), base.EmbeddingAt(sample[i]),
+                  d * sizeof(float));
+    }
+    train_data = gathered.row_data(0);
+    train_n = sample.size();
+  }
+
+  // Init: centroids seeded from kc distinct training rows (sorted so the
+  // layout depends only on which rows were drawn, not the draw order).
+  centroids_ = tensor::Tensor(kc, d);
+  {
+    std::vector<std::size_t> seeds = rng.SampleIndices(train_n, kc);
+    std::sort(seeds.begin(), seeds.end());
+    for (std::size_t c = 0; c < kc; ++c) {
+      std::memcpy(centroids_.row_data(c), train_data + seeds[c] * d,
+                  d * sizeof(float));
+    }
+  }
+  RecomputeHalfNorms(centroids_, &half_cnorm_);
+
+  // Lloyd iterations: parallel deterministic assignment, then a serial
+  // point-order accumulation so the updated centroids are bit-identical
+  // with or without a pool.
+  std::vector<std::uint32_t> assign;
+  std::vector<float> best_score;
+  std::vector<std::size_t> counts(kc, 0);
+  std::vector<double> sums(kc * d, 0.0);
+  for (std::size_t iter = 0; iter < options.train_iterations; ++iter) {
+    AssignPoints(train_data, train_n, centroids_, half_cnorm_, pool, &assign,
+                 &best_score);
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (std::size_t p = 0; p < train_n; ++p) {
+      const std::uint32_t c = assign[p];
+      ++counts[c];
+      const float* row = train_data + p * d;
+      double* acc = sums.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) acc[j] += row[j];
+    }
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (counts[c] == 0) continue;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      float* row = centroids_.row_data(c);
+      const double* acc = sums.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        row[j] = static_cast<float>(acc[j] * inv);
+      }
+    }
+    // Empty-cluster repair: each empty centroid (ascending id) is re-seeded
+    // from the worst-fit point (lowest assigned score, ties to the lowest
+    // index) still living in a cluster with more than one member. Fully
+    // deterministic, and every cluster ends non-empty while training data
+    // has at least kc distinct rows.
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (counts[c] != 0) continue;
+      std::size_t worst = train_n;
+      for (std::size_t p = 0; p < train_n; ++p) {
+        if (counts[assign[p]] < 2) continue;
+        if (worst == train_n || best_score[p] < best_score[worst]) worst = p;
+      }
+      if (worst == train_n) break;  // nothing left to donate
+      --counts[assign[worst]];
+      assign[worst] = static_cast<std::uint32_t>(c);
+      counts[c] = 1;
+      std::memcpy(centroids_.row_data(c), train_data + worst * d,
+                  d * sizeof(float));
+      best_score[worst] = std::numeric_limits<float>::max();  // donated
+    }
+    RecomputeHalfNorms(centroids_, &half_cnorm_);
+  }
+
+  // Final assignment over every row, then CSR inverted lists with each
+  // list's entries in ascending row position — the canonical layout the
+  // determinism test hashes.
+  AssignPoints(base.EmbeddingAt(0), n, centroids_, half_cnorm_, pool, &assign,
+               &best_score);
+  list_offsets_.assign(kc + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) ++list_offsets_[assign[p] + 1];
+  for (std::size_t c = 0; c < kc; ++c) {
+    list_offsets_[c + 1] += list_offsets_[c];
+  }
+  list_entries_.resize(n);
+  std::vector<std::uint32_t> cursor(list_offsets_.begin(),
+                                    list_offsets_.end() - 1);
+  for (std::size_t p = 0; p < n; ++p) {
+    list_entries_[cursor[assign[p]]++] = static_cast<std::uint32_t>(p);
+  }
+
+  options_ = options;
+  default_nprobe_ = options.default_nprobe;
+  if (default_nprobe_ == 0) {
+    default_nprobe_ = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(kc))));
+  }
+  default_nprobe_ = std::clamp<std::size_t>(default_nprobe_, 1, kc);
+  base_ = &base;
+  return util::Status::OK();
+}
+
+std::size_t ClusteredIndex::ResolveNprobe(std::size_t nprobe) const {
+  if (nprobe == 0) nprobe = default_nprobe_;
+  return std::clamp<std::size_t>(nprobe, 1, num_clusters());
+}
+
+std::size_t ClusteredIndex::ResolvePoolCap(std::size_t k) const {
+  std::size_t cap = options_.rescore_pool;
+  if (cap == 0) cap = std::max(2 * k, k + 64);
+  return std::clamp(cap, k, size());
+}
+
+void ClusteredIndex::ScoreClusters(const float* query,
+                                   std::vector<float>* scores) const {
+  const std::size_t kc = num_clusters();
+  scores->resize(kc);
+  internal::ScoreTileF32(query, centroids_.row_data(0), scores->data(), 1,
+                         centroids_.cols(), kc);
+  for (std::size_t c = 0; c < kc; ++c) (*scores)[c] -= half_cnorm_[c];
+}
+
+void ClusteredIndex::SelectProbe(const std::vector<float>& scores,
+                                 std::size_t nprobe,
+                                 std::vector<std::uint32_t>* probe) const {
+  probe->resize(scores.size());
+  std::iota(probe->begin(), probe->end(), 0u);
+  const auto cmp = [&scores](std::uint32_t a, std::uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(probe->begin(), probe->begin() + nprobe, probe->end(),
+                    cmp);
+  probe->resize(nprobe);
+}
+
+void ClusteredIndex::ScanProbeSlice(
+    const float* query, const std::vector<std::uint32_t>& probe,
+    std::size_t p_begin, std::size_t p_end, std::size_t k,
+    std::size_t pool_cap, float qscale,
+    const std::vector<std::int8_t>& qquery, TopKScratch* scratch) const {
+  const std::size_t d = base_->dim();
+  const bool use_int8 = base_->quantized();
+  const std::int8_t* qq = qquery.data();
+  for (std::size_t p = p_begin; p < p_end; ++p) {
+    const std::uint32_t c = probe[p];
+    const std::uint32_t lo = list_offsets_[c];
+    const std::uint32_t hi = list_offsets_[c + 1];
+    for (std::uint32_t idx = lo; idx < hi; ++idx) {
+      const std::uint32_t pos = list_entries_[idx];
+      if (use_int8) {
+        // Integer scan keyed by row POSITION: approximate scores feed the
+        // bounded candidate pool, which RescoreAndSelect re-scores in fp32.
+        const std::int8_t* row = base_->QuantizedRowAt(pos);
+        std::int32_t acc = 0;
+        for (std::size_t j = 0; j < d; ++j) {
+          acc += static_cast<std::int32_t>(qq[j]) * row[j];
+        }
+        const float score = static_cast<float>(acc) * qscale *
+                            base_->QuantizedScaleAt(pos);
+        OfferCandidate({pos, score}, pool_cap, &scratch->pool);
+      } else {
+        // fp32 scan keyed by entity ID with exact Dot scores: selection is
+        // final here, which is what makes probe-all identical to the base
+        // index's exhaustive TopKInto.
+        const float score = tensor::Dot(query, base_->EmbeddingAt(pos), d);
+        OfferCandidate({base_->ids()[pos], score}, k, &scratch->heap);
+      }
+    }
+  }
+}
+
+void ClusteredIndex::RescoreAndSelect(const float* query, std::size_t k,
+                                      TopKScratch* scratch,
+                                      std::vector<ScoredEntity>* out) const {
+  if (base_->quantized()) {
+    const std::size_t d = base_->dim();
+    scratch->heap.clear();
+    for (const ScoredEntity& cand : scratch->pool) {
+      const std::size_t pos = cand.id;
+      const float score = tensor::Dot(query, base_->EmbeddingAt(pos), d);
+      OfferCandidate({base_->ids()[pos], score}, k, &scratch->heap);
+    }
+    scratch->pool.clear();
+  }
+  DrainHeap(&scratch->heap, out);
+}
+
+void ClusteredIndex::TopKInto(const float* query, std::size_t k,
+                              std::size_t nprobe, ClusteredScratch* scratch,
+                              std::vector<ScoredEntity>* out) const {
+  METABLINK_CHECK(built() && base_ != nullptr)
+      << "ClusteredIndex must be built/attached before querying";
+  out->clear();
+  k = std::min(k, size());
+  if (k == 0) return;
+  nprobe = ResolveNprobe(nprobe);
+  ScoreClusters(query, &scratch->cluster_scores);
+  SelectProbe(scratch->cluster_scores, nprobe, &scratch->probe);
+  float qscale = 0.0f;
+  if (base_->quantized()) {
+    qscale = base_->QuantizeQueryInto(query, &scratch->topk.qquery);
+  }
+  scratch->topk.heap.clear();
+  scratch->topk.pool.clear();
+  ScanProbeSlice(query, scratch->probe, 0, scratch->probe.size(), k,
+                 ResolvePoolCap(k), qscale, scratch->topk.qquery,
+                 &scratch->topk);
+  RescoreAndSelect(query, k, &scratch->topk, out);
+}
+
+std::vector<ScoredEntity> ClusteredIndex::TopK(const float* query,
+                                               std::size_t k,
+                                               std::size_t nprobe) const {
+  ClusteredScratch scratch;
+  std::vector<ScoredEntity> out;
+  TopKInto(query, k, nprobe, &scratch, &out);
+  return out;
+}
+
+void ClusteredIndex::TopKSharded(const float* query, std::size_t k,
+                                 std::size_t nprobe, util::ThreadPool* pool,
+                                 ShardedScratch* scratch,
+                                 std::vector<ScoredEntity>* out) const {
+  METABLINK_CHECK(built() && base_ != nullptr)
+      << "ClusteredIndex must be built/attached before querying";
+  out->clear();
+  k = std::min(k, size());
+  if (k == 0) return;
+  nprobe = ResolveNprobe(nprobe);
+  if (pool == nullptr || pool->num_threads() < 2 || nprobe < 2) {
+    TopKInto(query, k, nprobe, &scratch->main, out);
+    return;
+  }
+  ClusteredScratch& main = scratch->main;
+  ScoreClusters(query, &main.cluster_scores);
+  SelectProbe(main.cluster_scores, nprobe, &main.probe);
+  float qscale = 0.0f;
+  if (base_->quantized()) {
+    qscale = base_->QuantizeQueryInto(query, &main.topk.qquery);
+  }
+  const std::size_t pool_cap = ResolvePoolCap(k);
+
+  // Entry-balanced contiguous shards over the probe list: walk the probed
+  // lists accumulating entry counts and cut at each target boundary, so a
+  // few oversized cells don't serialize the scan behind one shard.
+  std::size_t total_entries = 0;
+  for (const std::uint32_t c : main.probe) {
+    total_entries += list_offsets_[c + 1] - list_offsets_[c];
+  }
+  const std::size_t want = std::min(pool->num_threads(), nprobe);
+  std::vector<std::uint32_t>& bounds = scratch->shard_bounds;
+  bounds.clear();
+  bounds.push_back(0);
+  std::size_t acc = 0;
+  for (std::size_t p = 0; p < nprobe && bounds.size() < want; ++p) {
+    acc += list_offsets_[main.probe[p] + 1] - list_offsets_[main.probe[p]];
+    if (acc * want >= bounds.size() * std::max<std::size_t>(total_entries, 1)) {
+      bounds.push_back(static_cast<std::uint32_t>(p + 1));
+    }
+  }
+  if (bounds.back() != nprobe) {
+    bounds.push_back(static_cast<std::uint32_t>(nprobe));
+  }
+  const std::size_t num_shards = bounds.size() - 1;
+  if (num_shards < 2) {
+    main.topk.heap.clear();
+    main.topk.pool.clear();
+    ScanProbeSlice(query, main.probe, 0, nprobe, k, pool_cap, qscale,
+                   main.topk.qquery, &main.topk);
+    RescoreAndSelect(query, k, &main.topk, out);
+    return;
+  }
+
+  if (scratch->shards.size() < num_shards) scratch->shards.resize(num_shards);
+  pool->ParallelForChunks(
+      num_shards, num_shards,
+      [&](std::size_t shard, std::size_t, std::size_t) {
+        TopKScratch& s = scratch->shards[shard];
+        s.heap.clear();
+        s.pool.clear();
+        ScanProbeSlice(query, main.probe, bounds[shard], bounds[shard + 1],
+                       k, pool_cap, qscale, main.topk.qquery, &s);
+      });
+
+  // K-way merge by re-offering each shard's survivors under the same total
+  // order: any global top-`cap` candidate is in its own shard's top-`cap`,
+  // so the merged selection equals the serial scan's bit for bit.
+  main.topk.heap.clear();
+  main.topk.pool.clear();
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    TopKScratch& s = scratch->shards[shard];
+    for (const ScoredEntity& cand : s.heap) {
+      OfferCandidate(cand, k, &main.topk.heap);
+    }
+    for (const ScoredEntity& cand : s.pool) {
+      OfferCandidate(cand, pool_cap, &main.topk.pool);
+    }
+    s.heap.clear();
+    s.pool.clear();
+  }
+  RescoreAndSelect(query, k, &main.topk, out);
+}
+
+void ClusteredIndex::Save(util::BinaryWriter* writer) const {
+  writer->WriteU32(kClusteredTag);
+  writer->WriteU32(kClusteredVersion);
+  writer->WriteU64(size());
+  writer->WriteU64(dim());
+  writer->WriteU64(num_clusters());
+  writer->WriteU64(default_nprobe_);
+  writer->WriteU64(options_.rescore_pool);
+  writer->WriteU64(options_.seed);
+  writer->WriteFloatVector(centroids_.data());
+  writer->WriteFloatVector(half_cnorm_);
+  writer->WriteU32Vector(list_offsets_);
+  writer->WriteU32Vector(list_entries_);
+}
+
+util::Status ClusteredIndex::Load(util::BinaryReader* reader) {
+  std::uint32_t tag = 0, version = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&tag));
+  if (tag != kClusteredTag) {
+    return util::Status::InvalidArgument("not a ClusteredIndex snapshot");
+  }
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32(&version));
+  if (version == 0 || version > kClusteredVersion) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "unsupported ClusteredIndex version %u", version));
+  }
+  std::uint64_t n = 0, d = 0, kc = 0, nprobe = 0, rescore = 0, seed = 0;
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&n));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&d));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&kc));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&nprobe));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&rescore));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  std::vector<float> centroids, half_cnorm;
+  std::vector<std::uint32_t> offsets, entries;
+  METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&centroids));
+  METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&half_cnorm));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32Vector(&offsets));
+  METABLINK_RETURN_IF_ERROR(reader->ReadU32Vector(&entries));
+  if (n == 0 || kc == 0 || kc > n || nprobe == 0 || nprobe > kc ||
+      centroids.size() != kc * d || half_cnorm.size() != kc ||
+      offsets.size() != kc + 1 || entries.size() != n) {
+    return util::Status::InvalidArgument(
+        "corrupt ClusteredIndex snapshot: inconsistent shapes");
+  }
+  if (offsets.front() != 0 || offsets.back() != n) {
+    return util::Status::InvalidArgument(
+        "corrupt ClusteredIndex snapshot: bad list bounds");
+  }
+  for (std::size_t c = 0; c < kc; ++c) {
+    if (offsets[c] > offsets[c + 1]) {
+      return util::Status::InvalidArgument(
+          "corrupt ClusteredIndex snapshot: non-monotonic list offsets");
+    }
+  }
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t pos : entries) {
+    if (pos >= n || seen[pos]) {
+      return util::Status::InvalidArgument(
+          "corrupt ClusteredIndex snapshot: entries are not a permutation");
+    }
+    seen[pos] = true;
+  }
+  centroids_ = tensor::Tensor(static_cast<std::size_t>(kc),
+                              static_cast<std::size_t>(d),
+                              std::move(centroids));
+  half_cnorm_ = std::move(half_cnorm);
+  list_offsets_ = std::move(offsets);
+  list_entries_ = std::move(entries);
+  default_nprobe_ = static_cast<std::size_t>(nprobe);
+  options_ = ClusteredIndexOptions{};
+  options_.num_clusters = static_cast<std::size_t>(kc);
+  options_.default_nprobe = static_cast<std::size_t>(nprobe);
+  options_.rescore_pool = static_cast<std::size_t>(rescore);
+  options_.seed = seed;
+  base_ = nullptr;  // detached until Attach()
+  return util::Status::OK();
+}
+
+util::Status ClusteredIndex::Attach(const DenseIndex* base) {
+  if (base == nullptr || !base->built()) {
+    return util::Status::InvalidArgument(
+        "ClusteredIndex::Attach requires a built base index");
+  }
+  if (!built()) {
+    return util::Status::InvalidArgument(
+        "ClusteredIndex::Attach before Build/Load");
+  }
+  if (base->size() != size() || base->dim() != dim()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "clustering shape [%zu x %zu] does not match base index [%zu x %zu]",
+        size(), dim(), base->size(), base->dim()));
+  }
+  base_ = base;
+  return util::Status::OK();
+}
+
+util::Status ClusteredIndex::SaveToFile(const std::string& path) const {
+  store::CheckpointWriter ckpt;
+  Save(ckpt.AddSection("clustered"));
+  return ckpt.WriteToFile(path);
+}
+
+util::Status ClusteredIndex::LoadFromFile(const std::string& path,
+                                          const DenseIndex* base) {
+  auto reader = util::BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  std::vector<std::uint8_t> bytes;
+  METABLINK_RETURN_IF_ERROR(reader->ReadBytes(reader->Remaining(), &bytes));
+  if (bytes.size() >= 4) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, bytes.data(), 4);
+    if (magic == store::kCheckpointMagic) {
+      auto ckpt = store::CheckpointReader::Parse(std::move(bytes));
+      if (!ckpt.ok()) return ckpt.status();
+      auto section = ckpt->Section("clustered");
+      if (!section.ok()) return section.status();
+      METABLINK_RETURN_IF_ERROR(Load(&*section));
+      return Attach(base);
+    }
+  }
+  // Raw headerless "CIVF" stream (no container framing).
+  util::BinaryReader legacy(std::move(bytes));
+  METABLINK_RETURN_IF_ERROR(Load(&legacy));
+  return Attach(base);
+}
+
+}  // namespace metablink::retrieval

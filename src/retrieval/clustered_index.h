@@ -1,0 +1,198 @@
+#ifndef METABLINK_RETRIEVAL_CLUSTERED_INDEX_H_
+#define METABLINK_RETRIEVAL_CLUSTERED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retrieval/dense_index.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metablink::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace metablink::util
+
+namespace metablink::retrieval {
+
+/// Build- and probe-time knobs for ClusteredIndex.
+struct ClusteredIndexOptions {
+  /// Coarse centroids. 0 → round(sqrt(N)) clamped to [1, N] — the classic
+  /// IVF balance point where centroid scoring and list scanning cost the
+  /// same per query.
+  std::size_t num_clusters = 0;
+  /// Lloyd iterations over the training sample.
+  std::size_t train_iterations = 8;
+  /// K-means trains on at most this many rows (seeded, deterministic
+  /// subsample); the final assignment pass always covers every row.
+  std::size_t max_train_points = 65536;
+  /// Seed for subsampling and centroid init. Same seed + same rows →
+  /// byte-identical centroids and inverted lists.
+  std::uint64_t seed = 0x1337u;
+  /// Clusters probed per query when the caller passes nprobe == 0.
+  /// 0 → ceil(sqrt(num_clusters)).
+  std::size_t default_nprobe = 0;
+  /// Candidate-pool width for the int8 list scan before exact fp32
+  /// re-scoring (only used when the base index is quantized).
+  /// 0 → max(2k, k + 64) at query time.
+  std::size_t rescore_pool = 0;
+};
+
+/// Reusable per-caller buffers for ClusteredIndex::TopKInto.
+struct ClusteredScratch {
+  /// Adjusted query·centroid scores, one per centroid.
+  std::vector<float> cluster_scores;
+  /// Probed cluster ids, best centroid first.
+  std::vector<std::uint32_t> probe;
+  /// Heap / pool / quantized-query buffers for the list scans.
+  TopKScratch topk;
+};
+
+/// Reusable buffers for the sharded probe path.
+struct ShardedScratch {
+  ClusteredScratch main;
+  /// Per-shard selection state; chunk i of the parallel scan owns entry i.
+  std::vector<TopKScratch> shards;
+  /// Probe-list position where each shard's cluster range begins
+  /// ([num_shards + 1] boundaries).
+  std::vector<std::uint32_t> shard_bounds;
+};
+
+/// Clustered (IVF-style) approximate index layered over a DenseIndex: a
+/// seeded k-means partitions the entity rows into ~sqrt(N) cells, an
+/// inverted list maps each cell to its row positions, and a query probes
+/// only the `nprobe` cells whose centroids score highest instead of
+/// scanning every row — the BLINK-style coarse-probe → exact-re-score
+/// recipe that keeps million-entity retrieval off the exhaustive path.
+///
+/// Probe protocol: score the query against every centroid (adjusted inner
+/// product, x·c − ½‖c‖², equivalent to nearest-centroid in Euclidean
+/// distance), visit the top-`nprobe` inverted lists, scan their rows — an
+/// integer int8 scan when the base index is quantized, fp32 otherwise —
+/// and exactly re-score the bounded candidate pool with tensor::Dot so the
+/// returned scores are true fp32 regardless of scan precision.
+///
+/// Exactness invariant: with nprobe == num_clusters() every row is visited
+/// and the result is identical (ids, scores, tie order) to the base
+/// index's exhaustive TopKInto, because both select under the same strict
+/// total order (score desc, id asc). Smaller nprobe trades recall for
+/// latency; the R@64 overlap gate lives in bench_retrieval.
+///
+/// The index borrows its base: Build/Load/Attach bind it to a DenseIndex
+/// that must stay alive and unmodified (Build()/Quantize() on the base
+/// invalidate the attachment). Serialization stores only the clustering
+/// (centroids + lists), never the rows — reload the base first, then
+/// Attach.
+///
+/// Thread safety: all probe methods are const and share no mutable state;
+/// any number of threads may query concurrently with caller-owned scratch.
+class ClusteredIndex {
+ public:
+  ClusteredIndex() = default;
+
+  /// Trains k-means over `base`'s rows (deterministic given options.seed)
+  /// and builds the inverted lists. Lloyd assignment parallelizes over
+  /// `pool` when provided; the result is identical serial or pooled.
+  /// Pre: base.built(). Keeps a pointer to `base`.
+  util::Status Build(const DenseIndex& base,
+                     const ClusteredIndexOptions& options,
+                     util::ThreadPool* pool = nullptr);
+
+  bool built() const { return !list_offsets_.empty(); }
+  std::size_t size() const { return list_entries_.size(); }
+  std::size_t dim() const { return centroids_.cols(); }
+  std::size_t num_clusters() const { return centroids_.rows(); }
+  std::size_t default_nprobe() const { return default_nprobe_; }
+  const DenseIndex* base() const { return base_; }
+  const ClusteredIndexOptions& options() const { return options_; }
+
+  /// Top-k by true fp32 inner product among the rows of the top-`nprobe`
+  /// probed cells (nprobe == 0 → default_nprobe()), best first, ties by
+  /// ascending id. Appends to `*out` after clearing it; allocation-free
+  /// when `scratch` and `out` are reused.
+  void TopKInto(const float* query, std::size_t k, std::size_t nprobe,
+                ClusteredScratch* scratch,
+                std::vector<ScoredEntity>* out) const;
+
+  /// Convenience wrapper around TopKInto with one-shot buffers.
+  std::vector<ScoredEntity> TopK(const float* query, std::size_t k,
+                                 std::size_t nprobe = 0) const;
+
+  /// TopKInto with the probed lists sharded across `pool`: each shard
+  /// scans a contiguous, entry-balanced slice of the probe list into its
+  /// own TopKScratch, and the per-shard survivors are k-way merged under
+  /// the same total order — bit-identical output to the serial probe.
+  void TopKSharded(const float* query, std::size_t k, std::size_t nprobe,
+                   util::ThreadPool* pool, ShardedScratch* scratch,
+                   std::vector<ScoredEntity>* out) const;
+
+  // ---- Persistence --------------------------------------------------------
+
+  /// Serializes the clustering (centroids, norms, inverted lists, resolved
+  /// probe defaults). The base rows are NOT written; pair the payload with
+  /// the base index artifact.
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Loads and integrity-checks a clustering payload (shape consistency,
+  /// monotonic offsets, entries form a permutation of [0, N)). The index
+  /// is detached afterwards; call Attach before querying.
+  util::Status Load(util::BinaryReader* reader);
+
+  /// Binds (or re-binds, e.g. after the base was moved) the clustering to
+  /// its base index, validating row count and dimension.
+  util::Status Attach(const DenseIndex* base);
+
+  /// Writes a framed checkpoint container with one "clustered" section.
+  util::Status SaveToFile(const std::string& path) const;
+  /// Loads either a framed container or a raw legacy "CIVF" stream, then
+  /// attaches to `base`.
+  util::Status LoadFromFile(const std::string& path, const DenseIndex* base);
+
+  // ---- Introspection (tests, benches) ------------------------------------
+
+  const tensor::Tensor& centroids() const { return centroids_; }
+  /// CSR offsets into list_entries(), one per cluster plus a final bound.
+  const std::vector<std::uint32_t>& list_offsets() const {
+    return list_offsets_;
+  }
+  /// Row positions grouped by cluster, ascending within each list.
+  const std::vector<std::uint32_t>& list_entries() const {
+    return list_entries_;
+  }
+
+ private:
+  /// Adjusted centroid scores (x·c − ½‖c‖²) for one query.
+  void ScoreClusters(const float* query, std::vector<float>* scores) const;
+  /// Top-`nprobe` cluster ids by adjusted score (desc, ties by id asc).
+  void SelectProbe(const std::vector<float>& scores, std::size_t nprobe,
+                   std::vector<std::uint32_t>* probe) const;
+  /// Scans the probe-list slice [p_begin, p_end) into `scratch`: int8
+  /// candidates keyed by position when quantized (bounded by `pool_cap`),
+  /// exact fp32 hits keyed by id otherwise (bounded by `k`).
+  void ScanProbeSlice(const float* query, const std::vector<std::uint32_t>&
+                      probe, std::size_t p_begin, std::size_t p_end,
+                      std::size_t k, std::size_t pool_cap, float qscale,
+                      const std::vector<std::int8_t>& qquery,
+                      TopKScratch* scratch) const;
+  /// Exact fp32 re-score of pooled positions + final top-k selection.
+  void RescoreAndSelect(const float* query, std::size_t k,
+                        TopKScratch* scratch,
+                        std::vector<ScoredEntity>* out) const;
+  std::size_t ResolveNprobe(std::size_t nprobe) const;
+  std::size_t ResolvePoolCap(std::size_t k) const;
+
+  const DenseIndex* base_ = nullptr;
+  ClusteredIndexOptions options_;
+  tensor::Tensor centroids_;             // [num_clusters, dim]
+  std::vector<float> half_cnorm_;        // ½‖c‖² per centroid
+  std::vector<std::uint32_t> list_offsets_;  // [num_clusters + 1]
+  std::vector<std::uint32_t> list_entries_;  // [N] row positions
+  std::size_t default_nprobe_ = 1;
+};
+
+}  // namespace metablink::retrieval
+
+#endif  // METABLINK_RETRIEVAL_CLUSTERED_INDEX_H_

@@ -1,9 +1,11 @@
 #include "retrieval/dense_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
+#include "retrieval/score_kernel.h"
 #include "store/checkpoint.h"
 #include "util/logging.h"
 #include "util/serialize.h"
@@ -29,27 +31,35 @@ constexpr std::size_t kEntityBlock = 512;
 // and twice the panel reuse of the previous 8-query tile.
 constexpr std::size_t kQueryBlock = 16;
 
-// Assigns tile[i*en + j] = <queries row i, entities row j> for a qn×en
-// tile. Unlike the accumulate-style GemmTransposeBRaw this writes each
-// element exactly once, so the caller never pre-zeroes the tile — that
-// round-trip (zero-fill then read-modify-write) is what made the blocked
-// batch path slower than the naive per-query loop for small query counts.
-void ScoreTile(const float* queries, const float* entities, float* tile,
-               std::size_t qn, std::size_t d, std::size_t en) {
-  constexpr std::size_t kPanel = 64;  // entity rows per L1-resident panel
-  for (std::size_t jb = 0; jb < en; jb += kPanel) {
-    const std::size_t je = std::min(en, jb + kPanel);
-    for (std::size_t i = 0; i < qn; ++i) {
-      const float* q = queries + i * d;
-      float* trow = tile + i * en;
-      for (std::size_t j = jb; j < je; ++j) {
-        trow[j] = tensor::Dot(q, entities + j * d, d);
-      }
+// Candidates beyond k kept per query by the approximate fp32 tile scan
+// before exact re-scoring. The fp32 kernel's error relative to the double
+// Dot sum is ~1 fp32 ulp of the score, so a true top-k member can only be
+// displaced below the pool boundary by candidates within that error band —
+// a 16-deep margin puts the boundary far outside it.
+constexpr std::size_t kRescoreMargin = 16;
+
+constexpr std::uint32_t kIndexTag = 0x44584e49u;  // "INXD"
+
+// Bounded-heap selection keyed by row POSITION (ascending position breaks
+// exact ties), shared by the batch scan and the int8 scan so both pools
+// are insertion-order independent: under a strict total order the surviving
+// pool is the global top-`cap` regardless of visit order.
+void OfferPositions(const float* scores, std::size_t e_begin,
+                    std::size_t count, std::size_t cap,
+                    std::vector<ScoredEntity>* pool) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const ScoredEntity cand{static_cast<kb::EntityId>(e_begin + i),
+                            scores[i]};
+    if (pool->size() < cap) {
+      pool->push_back(cand);
+      std::push_heap(pool->begin(), pool->end(), Better);
+    } else if (Better(cand, pool->front())) {
+      std::pop_heap(pool->begin(), pool->end(), Better);
+      pool->back() = cand;
+      std::push_heap(pool->begin(), pool->end(), Better);
     }
   }
 }
-
-constexpr std::uint32_t kIndexTag = 0x44584e49u;  // "INXD"
 
 }  // namespace
 
@@ -100,6 +110,8 @@ void DenseIndex::TopKInto(const float* query, std::size_t k,
                           TopKScratch* scratch,
                           std::vector<ScoredEntity>* out) const {
   out->clear();
+  // Pinned edge cases: k > size() clamps to a full ranking; k == 0 (after
+  // clamping an empty request) returns no hits without touching the data.
   k = std::min(k, ids_.size());
   if (k == 0) return;
   scratch->heap.clear();
@@ -125,62 +137,118 @@ std::vector<ScoredEntity> DenseIndex::TopK(const float* query,
   return out;
 }
 
-std::vector<std::vector<ScoredEntity>> DenseIndex::BatchTopK(
-    const tensor::Tensor& queries, std::size_t k,
-    util::ThreadPool* pool) const {
+void DenseIndex::BatchBlock(const tensor::Tensor& queries, std::size_t q0,
+                            std::size_t k, BatchTopKScratch::Chunk* chunk,
+                            std::vector<std::vector<ScoredEntity>>* out)
+    const {
   const std::size_t nq = queries.rows();
-  std::vector<std::vector<ScoredEntity>> out(nq);
-  if (nq == 0) return out;
+  const std::size_t d = embeddings_.cols();
+  const std::size_t total = ids_.size();
+  const std::size_t qn = std::min(kQueryBlock, nq - q0);
+  // Sized once per tile shape: both buffers depend only on the block
+  // constants, so a reused scratch never grows again after its first block.
+  if (chunk->per_query.size() < kQueryBlock) {
+    chunk->per_query.resize(kQueryBlock);
+  }
+  if (chunk->tile.size() < kQueryBlock * kEntityBlock) {
+    chunk->tile.resize(kQueryBlock * kEntityBlock);
+  }
+  const std::size_t pool_cap = std::min(total, k + kRescoreMargin);
+  for (std::size_t qi = 0; qi < qn; ++qi) {
+    chunk->per_query[qi].pool.clear();
+  }
+  // Phase 1: approximate fp32 tile scan. Each entity panel is read once
+  // per query block instead of once per query, the tile is written by
+  // assignment (never zero-filled), and selection keeps the best
+  // (k + margin) row positions per query.
+  for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
+    const std::size_t en = std::min(kEntityBlock, total - e0);
+    internal::ScoreTileF32(queries.row_data(q0), embeddings_.row_data(e0),
+                           chunk->tile.data(), qn, d, en);
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      OfferPositions(chunk->tile.data() + qi * en, e0, en, pool_cap,
+                     &chunk->per_query[qi].pool);
+    }
+  }
+  // Phase 2: exact re-score of each query's surviving positions with the
+  // double-chain Dot, then final top-k selection — returned scores carry
+  // no tile-kernel error and match TopKInto exactly.
+  for (std::size_t qi = 0; qi < qn; ++qi) {
+    TopKScratch& scr = chunk->per_query[qi];
+    scr.heap.clear();
+    scr.scores.resize(1);
+    for (const ScoredEntity& cand : scr.pool) {
+      const std::size_t position = cand.id;
+      scr.scores[0] =
+          tensor::Dot(queries.row_data(q0 + qi), embeddings_.row_data(position),
+                      d);
+      OfferBlock(scr.scores.data(), position, 1, k, &scr);
+    }
+    DrainHeap(&scr, &(*out)[q0 + qi]);
+  }
+}
+
+void DenseIndex::BatchTopKInto(
+    const tensor::Tensor& queries, std::size_t k, util::ThreadPool* pool,
+    BatchTopKScratch* scratch,
+    std::vector<std::vector<ScoredEntity>>* out) const {
+  const std::size_t nq = queries.rows();
+  out->resize(nq);
+  if (nq == 0) return;
   const std::size_t kk = std::min(k, ids_.size());
+  if (kk == 0) {
+    // Pinned edge case: k == 0 asks for nothing — skip the scan entirely.
+    for (auto& hits : *out) hits.clear();
+    return;
+  }
   if (nq == 1) {
     // A 1-row tile has no cross-query panel reuse to exploit; the direct
     // single-query path skips the tile entirely.
-    TopKScratch scratch;
-    TopKInto(queries.row_data(0), kk, &scratch, &out[0]);
-    return out;
+    if (scratch->chunks.empty()) scratch->chunks.resize(1);
+    if (scratch->chunks[0].per_query.empty()) {
+      scratch->chunks[0].per_query.resize(1);
+    }
+    TopKInto(queries.row_data(0), kk, &scratch->chunks[0].per_query[0],
+             &(*out)[0]);
+    return;
   }
-  const std::size_t d = embeddings_.cols();
-  const std::size_t total = ids_.size();
   const std::size_t nblocks = (nq + kQueryBlock - 1) / kQueryBlock;
 
-  // One query×entity score tile per block: each entity panel is read once
-  // per query block instead of once per query, and the tile is written by
-  // assignment (never zero-filled).
-  auto process_block = [&](std::size_t q0, std::vector<TopKScratch>& scr,
-                           std::vector<float>& tile) {
-    const std::size_t qn = std::min(kQueryBlock, nq - q0);
-    for (std::size_t qi = 0; qi < qn; ++qi) scr[qi].heap.clear();
-    for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
-      const std::size_t en = std::min(kEntityBlock, total - e0);
-      tile.resize(qn * en);
-      ScoreTile(queries.row_data(q0), embeddings_.row_data(e0), tile.data(),
-                qn, d, en);
-      for (std::size_t qi = 0; qi < qn; ++qi) {
-        OfferBlock(tile.data() + qi * en, e0, en, kk, &scr[qi]);
-      }
-    }
-    for (std::size_t qi = 0; qi < qn; ++qi) {
-      DrainHeap(&scr[qi], &out[q0 + qi]);
-    }
-  };
-
   if (pool != nullptr && nblocks >= 2) {
+    // Work-stealing over query blocks: workers pull the next unclaimed
+    // block from an atomic cursor, so a straggler block cannot idle the
+    // other workers the way a static partition can. Each worker owns one
+    // scratch chunk; block results land in disjoint `out` rows, and the
+    // per-block computation is identical to the serial path, so stealing
+    // order never changes the output.
+    const std::size_t workers = std::min(pool->num_threads(), nblocks);
+    if (scratch->chunks.size() < workers) scratch->chunks.resize(workers);
+    std::atomic<std::size_t> next_block{0};
     pool->ParallelForChunks(
-        nblocks, 0,
-        [&](std::size_t, std::size_t begin, std::size_t end) {
-          std::vector<TopKScratch> scr(kQueryBlock);
-          std::vector<float> tile;
-          for (std::size_t b = begin; b < end; ++b) {
-            process_block(b * kQueryBlock, scr, tile);
+        workers, workers,
+        [&](std::size_t chunk_id, std::size_t, std::size_t) {
+          BatchTopKScratch::Chunk& chunk = scratch->chunks[chunk_id];
+          for (;;) {
+            const std::size_t b =
+                next_block.fetch_add(1, std::memory_order_relaxed);
+            if (b >= nblocks) break;
+            BatchBlock(queries, b * kQueryBlock, kk, &chunk, out);
           }
         });
   } else {
-    std::vector<TopKScratch> scr(kQueryBlock);
-    std::vector<float> tile;
+    if (scratch->chunks.empty()) scratch->chunks.resize(1);
     for (std::size_t b = 0; b < nblocks; ++b) {
-      process_block(b * kQueryBlock, scr, tile);
+      BatchBlock(queries, b * kQueryBlock, kk, &scratch->chunks[0], out);
     }
   }
+}
+
+std::vector<std::vector<ScoredEntity>> DenseIndex::BatchTopK(
+    const tensor::Tensor& queries, std::size_t k,
+    util::ThreadPool* pool) const {
+  BatchTopKScratch scratch;
+  std::vector<std::vector<ScoredEntity>> out;
+  BatchTopKInto(queries, k, pool, &scratch, &out);
   return out;
 }
 
@@ -208,6 +276,27 @@ void DenseIndex::Quantize() {
   }
 }
 
+float DenseIndex::QuantizeQueryInto(const float* query,
+                                    std::vector<std::int8_t>* out) const {
+  const std::size_t d = embeddings_.cols();
+  float qmax = 0.0f;
+  for (std::size_t j = 0; j < d; ++j) {
+    qmax = std::max(qmax, std::fabs(query[j]));
+  }
+  out->resize(d);
+  if (qmax == 0.0f) {
+    std::fill(out->begin(), out->end(), static_cast<std::int8_t>(0));
+    return 0.0f;
+  }
+  const float qscale = qmax / 127.0f;
+  const float inv = 1.0f / qscale;
+  for (std::size_t j = 0; j < d; ++j) {
+    (*out)[j] = static_cast<std::int8_t>(
+        std::clamp(std::nearbyint(query[j] * inv), -127.0f, 127.0f));
+  }
+  return qscale;
+}
+
 void DenseIndex::TopKQuantizedInto(const float* query, std::size_t k,
                                    std::size_t pool_size,
                                    TopKScratch* scratch,
@@ -221,22 +310,7 @@ void DenseIndex::TopKQuantizedInto(const float* query, std::size_t k,
   pool_size = std::clamp(pool_size, k, total);
 
   // Symmetric per-query quantization, same scheme as the rows.
-  float qmax = 0.0f;
-  for (std::size_t j = 0; j < d; ++j) {
-    qmax = std::max(qmax, std::fabs(query[j]));
-  }
-  const float qscale = qmax / 127.0f;
-  scratch->qquery.resize(d);
-  if (qmax == 0.0f) {
-    std::fill(scratch->qquery.begin(), scratch->qquery.end(),
-              static_cast<std::int8_t>(0));
-  } else {
-    const float inv = 1.0f / qscale;
-    for (std::size_t j = 0; j < d; ++j) {
-      scratch->qquery[j] = static_cast<std::int8_t>(
-          std::clamp(std::nearbyint(query[j] * inv), -127.0f, 127.0f));
-    }
-  }
+  const float qscale = QuantizeQueryInto(query, &scratch->qquery);
 
   // Phase 1: integer scan. Approximate scores select a candidate pool of
   // row POSITIONS (so phase 2 can address the fp32 rows directly) via the
@@ -254,19 +328,10 @@ void DenseIndex::TopKQuantizedInto(const float* query, std::size_t k,
       for (std::size_t j = 0; j < d; ++j) {
         acc += static_cast<std::int32_t>(qq[j]) * row[j];
       }
-      const float approx =
+      scratch->scores[i] =
           static_cast<float>(acc) * qscale * q_scales_[e0 + i];
-      // Same bounded-heap policy as OfferBlock, keyed by position.
-      const ScoredEntity cand{static_cast<kb::EntityId>(e0 + i), approx};
-      if (pool.size() < pool_size) {
-        pool.push_back(cand);
-        std::push_heap(pool.begin(), pool.end(), Better);
-      } else if (Better(cand, pool.front())) {
-        std::pop_heap(pool.begin(), pool.end(), Better);
-        pool.back() = cand;
-        std::push_heap(pool.begin(), pool.end(), Better);
-      }
     }
+    OfferPositions(scratch->scores.data(), e0, count, pool_size, &pool);
   }
 
   // Phase 2: exact fp32 re-score of the surviving positions, then final

@@ -29,12 +29,24 @@ struct ScoredEntity {
 struct TopKScratch {
   /// Bounded selection heap (at most k+1 live entries).
   std::vector<ScoredEntity> heap;
-  /// Blocked score tile used by BatchTopK.
+  /// Per-block score strip used by the single-query scans.
   std::vector<float> scores;
   /// Symmetric-quantized query (int8 path).
   std::vector<std::int8_t> qquery;
-  /// Candidate pool surviving the int8 scan, before exact re-scoring.
+  /// Candidate pool surviving the approximate scan, before exact re-scoring.
   std::vector<ScoredEntity> pool;
+};
+
+/// Caller-reusable buffers for BatchTopKInto. Each chunk owns one score
+/// tile and one selection scratch per query slot; both are sized once for
+/// the (query block, entity block) tile shape and then reused for every
+/// block of every call, so the hot loop never reallocates.
+struct BatchTopKScratch {
+  struct Chunk {
+    std::vector<TopKScratch> per_query;
+    std::vector<float> tile;
+  };
+  std::vector<Chunk> chunks;
 };
 
 /// Exact top-k dense retrieval over an entity embedding matrix (stage 1 of
@@ -74,7 +86,18 @@ class DenseIndex {
   std::vector<ScoredEntity> TopK(const float* query, std::size_t k) const;
 
   /// Top-k for every row of `queries` ([n, dim]); parallelized over `pool`
-  /// when provided. Scores are computed in blocked query×entity tiles.
+  /// when provided. Scores are computed in blocked query×entity tiles by a
+  /// SIMD fp32 kernel; the best (k + margin) candidates per query are then
+  /// exactly re-scored with tensor::Dot, so the returned scores are
+  /// identical to TopKInto's. Query blocks are distributed to workers via
+  /// an atomic work-stealing cursor, and per-worker tiles/heaps come from
+  /// `scratch` (sized once per tile shape, reused across calls).
+  /// k == 0 returns n empty hit lists without scanning.
+  void BatchTopKInto(const tensor::Tensor& queries, std::size_t k,
+                     util::ThreadPool* pool, BatchTopKScratch* scratch,
+                     std::vector<std::vector<ScoredEntity>>* out) const;
+
+  /// Convenience wrapper around BatchTopKInto with one-shot scratch.
   std::vector<std::vector<ScoredEntity>> BatchTopK(
       const tensor::Tensor& queries, std::size_t k,
       util::ThreadPool* pool = nullptr) const;
@@ -113,12 +136,34 @@ class DenseIndex {
     return embeddings_.row_data(i);
   }
 
+  // ---- Row access for layered indexes (ClusteredIndex) -------------------
+
+  /// Int8 row at position `i`. Pre: quantized().
+  const std::int8_t* QuantizedRowAt(std::size_t i) const {
+    return q_rows_.data() + i * embeddings_.cols();
+  }
+  /// Dequantization scale of row `i`. Pre: quantized().
+  float QuantizedScaleAt(std::size_t i) const { return q_scales_[i]; }
+
+  /// Symmetric int8 quantization of one query (the same scheme as the
+  /// stored rows), written into `*out` (resized to dim()). Returns the
+  /// query's dequantization scale (0 for an all-zero query).
+  float QuantizeQueryInto(const float* query,
+                          std::vector<std::int8_t>* out) const;
+
  private:
   /// Offers entities [e_begin, e_begin + count) with the given scores to
   /// the bounded selection heap in `scratch`.
   void OfferBlock(const float* scores, std::size_t e_begin,
                   std::size_t count, std::size_t k,
                   TopKScratch* scratch) const;
+
+  /// Scores queries [q0, q0 + block) against every entity and selects each
+  /// query's exact top-k into `out` (approximate fp32 tile scan, bounded
+  /// position pool, exact re-score). One block of BatchTopKInto.
+  void BatchBlock(const tensor::Tensor& queries, std::size_t q0,
+                  std::size_t k, BatchTopKScratch::Chunk* chunk,
+                  std::vector<std::vector<ScoredEntity>>* out) const;
 
   /// Sorts the heap contents into `*out` (best first).
   static void DrainHeap(TopKScratch* scratch, std::vector<ScoredEntity>* out);

@@ -1,0 +1,30 @@
+#ifndef METABLINK_RETRIEVAL_SCORE_KERNEL_H_
+#define METABLINK_RETRIEVAL_SCORE_KERNEL_H_
+
+#include <cstddef>
+
+namespace metablink::retrieval::internal {
+
+/// Fills tile[i * en + j] = <queries row i, entities row j> for a qn×en
+/// inner-product tile over row-major fp32 panels (query rows stride d,
+/// entity rows stride d). Every element is written by assignment, never
+/// accumulated, so callers do not pre-zero the tile.
+///
+/// Selection-grade numerics: scores are accumulated in fp32 with a
+/// SIMD-friendly order that differs from tensor::Dot's double-chain sum.
+/// Callers that surface scores re-score their survivors with tensor::Dot
+/// (the same approximate-scan → exact-re-score protocol as the int8 path),
+/// so returned scores carry no kernel-dependent error. The kernel is
+/// deterministic on a given machine: one implementation is selected at
+/// process start and used for every call, so serial and pooled scans
+/// produce identical tiles.
+void ScoreTileF32(const float* queries, const float* entities, float* tile,
+                  std::size_t qn, std::size_t d, std::size_t en);
+
+/// True when the runtime-dispatched AVX2+FMA tile kernel is active (x86
+/// with AVX2/FMA support); false on the portable scalar fallback.
+bool ScoreTileUsesSimd();
+
+}  // namespace metablink::retrieval::internal
+
+#endif  // METABLINK_RETRIEVAL_SCORE_KERNEL_H_

@@ -121,6 +121,10 @@ LinkingServer::BuildEpoch(const model::BiEncoder* bi,
   }
   METABLINK_RETURN_IF_ERROR(epoch->index.Build(std::move(all), ids));
   if (options.use_quantized) epoch->index.Quantize();
+  if (options.use_clustered) {
+    METABLINK_RETURN_IF_ERROR(
+        epoch->clustered.Build(epoch->index, retrieval::ClusteredIndexOptions{}));
+  }
   // Entity-side rerank work, hoisted out of the serving loop.
   cross->PrecomputeEntities(entities, &epoch->cross_cache);
   epoch->entity_pos.reserve(ids.size());
@@ -145,6 +149,17 @@ LinkingServer::BuildEpochFromBundle(store::ModelBundle bundle,
   }
   if (options.use_quantized && !epoch->index.quantized()) {
     epoch->index.Quantize();
+  }
+  if (options.use_clustered) {
+    if (b.has_clustered) {
+      // Adopt the shipped clustering. Moving the bundle into this epoch
+      // relocated the index it was attached to, so re-bind it here.
+      epoch->clustered = std::move(b.clustered);
+      METABLINK_RETURN_IF_ERROR(epoch->clustered.Attach(&epoch->index));
+    } else {
+      METABLINK_RETURN_IF_ERROR(epoch->clustered.Build(
+          epoch->index, retrieval::ClusteredIndexOptions{}));
+    }
   }
   const std::vector<kb::EntityId>& ids = epoch->index.ids();
   if (b.has_rerank_cache) {
@@ -294,14 +309,28 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
     topk_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
   }
   if (!miss_idx_.empty()) {
+    const bool clustered = options_.use_clustered && epoch->clustered.built();
     const bool quantized = options_.use_quantized && epoch->index.quantized();
+    if (clustered &&
+        clustered_scratch_.size() <
+            std::max<std::size_t>(1, pool_.num_threads())) {
+      clustered_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
+    }
     pool_.ParallelForChunks(
         miss_idx_.size(), 0,
-        [this, &epoch, k, quantized](std::size_t chunk, std::size_t begin,
-                                     std::size_t end) {
+        [this, &epoch, k, clustered, quantized](
+            std::size_t chunk, std::size_t begin, std::size_t end) {
           for (std::size_t j = begin; j < end; ++j) {
             const std::size_t i = miss_idx_[j];
-            if (quantized) {
+            if (clustered) {
+              // Probe path: the clustered index internally runs the int8
+              // scan when the base is quantized, so it subsumes the
+              // use_quantized branch.
+              epoch->clustered.TopKInto(queries_.row_data(i), k,
+                                        options_.nprobe,
+                                        &clustered_scratch_[chunk],
+                                        &batch_hits_[i]);
+            } else if (quantized) {
               epoch->index.TopKQuantizedInto(queries_.row_data(i), k,
                                              options_.quantized_pool,
                                              &topk_scratch_[chunk],

@@ -18,6 +18,7 @@
 #include "kb/knowledge_base.h"
 #include "model/bi_encoder.h"
 #include "model/cross_encoder.h"
+#include "retrieval/clustered_index.h"
 #include "retrieval/dense_index.h"
 #include "store/model_bundle.h"
 #include "util/status.h"
@@ -37,6 +38,15 @@ struct ServerOptions {
   bool use_quantized = false;
   /// Candidate-pool width for the int8 scan before exact fp32 re-scoring.
   std::size_t quantized_pool = 4096;
+  /// Serve retrieval through the clustered (IVF) form of the index: probe
+  /// only the best `nprobe` k-means cells instead of scanning every row.
+  /// A bundle that ships a "clustered" artifact is adopted as-is; otherwise
+  /// the clustering is trained at epoch build time. Composes with
+  /// use_quantized (the per-cell scan then runs on int8 rows).
+  bool use_clustered = false;
+  /// Cells probed per query when serving clustered; 0 uses the index's
+  /// own default (ceil(sqrt(num_clusters))).
+  std::size_t nprobe = 0;
   /// LRU entries for repeated (mention, context) requests; 0 disables.
   /// Each entry holds the mention embedding and its retrieved top-k (both
   /// pure functions of the request text and the fixed index), so a hit
@@ -175,6 +185,10 @@ class LinkingServer {
     const model::CrossEncoder* cross = nullptr;
     const kb::KnowledgeBase* kb = nullptr;
     retrieval::DenseIndex index;
+    /// Clustered probe structure over `index`; built() only when the epoch
+    /// serves with use_clustered. Always attached to this epoch's `index`
+    /// member (re-attached after any bundle move).
+    retrieval::ClusteredIndex clustered;
     model::CrossEntityCache cross_cache;
     std::unordered_map<kb::EntityId, std::size_t> entity_pos;
     // Feature LRU: key -> list node of (key, feature).
@@ -238,6 +252,7 @@ class LinkingServer {
   tensor::Tensor queries_;
   std::vector<std::vector<retrieval::ScoredEntity>> batch_hits_;
   std::vector<retrieval::TopKScratch> topk_scratch_;
+  std::vector<retrieval::ClusteredScratch> clustered_scratch_;
   struct RerankScratch {
     model::CrossScoreScratch cross;
     std::vector<float> scores;

@@ -135,6 +135,21 @@ util::Status SaveModelBundle(const ModelBundleParts& parts,
     METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("rerank_cache", "rerank.ckpt",
                                                  ckpt));
   }
+  if (parts.clustered != nullptr) {
+    if (!parts.clustered->built()) {
+      return util::Status::InvalidArgument(
+          "bundle clustered index was never built");
+    }
+    if (parts.clustered->size() != parts.index->size() ||
+        parts.clustered->dim() != parts.index->dim()) {
+      return util::Status::InvalidArgument(
+          "bundle clustered index does not match the dense index shape");
+    }
+    CheckpointWriter ckpt;
+    parts.clustered->Save(ckpt.AddSection("clustered"));
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("clustered",
+                                                 "clustered.ckpt", ckpt));
+  }
   return bundle.Finalize(parts.model_version, parts.domain);
 }
 
@@ -201,6 +216,19 @@ util::Result<ModelBundle> LoadModelBundle(const std::string& dir) {
           "bundle rerank cache does not cover the indexed entity set");
     }
     out.has_rerank_cache = true;
+  }
+
+  if (bundle->Has("clustered")) {
+    auto clustered_ckpt = bundle->OpenArtifact("clustered");
+    if (!clustered_ckpt.ok()) return clustered_ckpt.status();
+    auto clustered_section = clustered_ckpt->Section("clustered");
+    if (!clustered_section.ok()) return clustered_section.status();
+    METABLINK_RETURN_IF_ERROR(out.clustered.Load(&*clustered_section));
+    // Attach validates the clustering against this bundle's own index (row
+    // count and dimension), rejecting bundles assembled from mismatched
+    // artifacts even though each passed its CRC.
+    METABLINK_RETURN_IF_ERROR(out.clustered.Attach(&out.index));
+    out.has_clustered = true;
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include "kb/knowledge_base.h"
 #include "model/bi_encoder.h"
 #include "model/cross_encoder.h"
+#include "retrieval/clustered_index.h"
 #include "retrieval/dense_index.h"
 #include "store/bundle.h"
 #include "util/status.h"
@@ -25,6 +26,9 @@ struct ModelBundleParts {
   const kb::KnowledgeBase* kb = nullptr;
   const retrieval::DenseIndex* index = nullptr;
   const model::CrossEntityCache* rerank_cache = nullptr;
+  /// Optional clustered (IVF) form of `index`; nullptr skips the artifact
+  /// and a clustered-serving loader rebuilds it instead.
+  const retrieval::ClusteredIndex* clustered = nullptr;
 };
 
 /// A fully loaded serving model: everything LinkingServer needs to answer
@@ -39,6 +43,12 @@ struct ModelBundle {
   retrieval::DenseIndex index;
   bool has_rerank_cache = false;
   model::CrossEntityCache rerank_cache;
+  /// Clustered form of `index`, present when the bundle shipped one. NOTE:
+  /// the loader attaches it to `index` for validation, but moving the
+  /// ModelBundle relocates `index` — re-call clustered.Attach(&index) on
+  /// the bundle's final resting place before querying through it.
+  bool has_clustered = false;
+  retrieval::ClusteredIndex clustered;
 };
 
 /// Packages `parts` into the bundle directory `dir`: one checkpoint

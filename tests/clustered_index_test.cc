@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "retrieval/clustered_index.h"
+#include "retrieval/dense_index.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
+
+namespace metablink::retrieval {
+namespace {
+
+tensor::Tensor RandomEmbeddings(std::size_t n, std::size_t d,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t(n, d);
+  for (float& v : t.data()) v = rng.NextFloat(-1, 1);
+  return t;
+}
+
+// Mixture-of-Gaussians rows: `components` well-separated centers with
+// isotropic noise. Uniform random data has no cluster structure for an IVF
+// probe to exploit, so recall tests use this instead.
+tensor::Tensor MixtureEmbeddings(std::size_t n, std::size_t d,
+                                 std::size_t components, float noise,
+                                 std::uint64_t seed,
+                                 tensor::Tensor* centers_out = nullptr) {
+  util::Rng rng(seed);
+  tensor::Tensor centers(components, d);
+  for (float& v : centers.data()) v = rng.NextFloat(-1.0f, 1.0f);
+  tensor::Tensor t(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % components;
+    for (std::size_t j = 0; j < d; ++j) {
+      t.at(i, j) =
+          centers.at(c, j) + noise * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  if (centers_out != nullptr) *centers_out = std::move(centers);
+  return t;
+}
+
+std::vector<kb::EntityId> Iota(std::size_t n) {
+  std::vector<kb::EntityId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<kb::EntityId>(i);
+  return ids;
+}
+
+void ExpectSameHits(const std::vector<ScoredEntity>& a,
+                    const std::vector<ScoredEntity>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;  // bit-identical fp32
+  }
+}
+
+TEST(ClusteredIndexTest, BuildValidatesInput) {
+  DenseIndex base;
+  ClusteredIndex clustered;
+  EXPECT_FALSE(clustered.Build(base, {}).ok());  // unbuilt base
+  ASSERT_TRUE(base.Build(RandomEmbeddings(50, 8, 1), Iota(50)).ok());
+  EXPECT_TRUE(clustered.Build(base, {}).ok());
+  EXPECT_TRUE(clustered.built());
+  EXPECT_EQ(clustered.size(), 50u);
+  EXPECT_EQ(clustered.dim(), 8u);
+  EXPECT_EQ(clustered.num_clusters(), 7u);  // round(sqrt(50))
+  EXPECT_GE(clustered.default_nprobe(), 1u);
+  EXPECT_LE(clustered.default_nprobe(), clustered.num_clusters());
+  // Every row lands in exactly one inverted list.
+  EXPECT_EQ(clustered.list_entries().size(), 50u);
+  EXPECT_EQ(clustered.list_offsets().front(), 0u);
+  EXPECT_EQ(clustered.list_offsets().back(), 50u);
+}
+
+TEST(ClusteredIndexTest, ProbeAllMatchesExhaustiveExactly) {
+  // With nprobe == num_clusters every row is visited, and both paths select
+  // under the same (score desc, id asc) total order: ids AND scores must be
+  // bit-identical to the exhaustive scan — including exact ties from
+  // duplicated rows.
+  const std::size_t n = 600, d = 16;
+  tensor::Tensor emb = RandomEmbeddings(n, d, 2);
+  for (std::size_t j = 0; j < d; ++j) {
+    emb.at(1, j) = emb.at(0, j);    // duplicate rows -> exact score ties
+    emb.at(300, j) = emb.at(0, j);
+  }
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(emb, Iota(n)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+
+  util::Rng rng(3);
+  TopKScratch base_scratch;
+  ClusteredScratch probe_scratch;
+  std::vector<ScoredEntity> exact, probed;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    base.TopKInto(q.data(), 33, &base_scratch, &exact);
+    clustered.TopKInto(q.data(), 33, clustered.num_clusters(), &probe_scratch,
+                       &probed);
+    ExpectSameHits(exact, probed);
+  }
+}
+
+TEST(ClusteredIndexTest, QuantizedProbeAllFullPoolMatchesExact) {
+  // Int8 per-cell scan + full-size rescore pool + probe-all: the true top-k
+  // cannot fall out of the pool, so the fp32-rescored result equals the
+  // exhaustive fp32 scan exactly.
+  const std::size_t n = 500, d = 24;
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(RandomEmbeddings(n, d, 7), Iota(n)).ok());
+  base.Quantize();
+  ClusteredIndexOptions options;
+  options.rescore_pool = n;
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, options).ok());
+
+  util::Rng rng(8);
+  TopKScratch base_scratch;
+  ClusteredScratch probe_scratch;
+  std::vector<ScoredEntity> exact, probed;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    base.TopKInto(q.data(), 12, &base_scratch, &exact);
+    clustered.TopKInto(q.data(), 12, clustered.num_clusters(), &probe_scratch,
+                       &probed);
+    ExpectSameHits(exact, probed);
+  }
+}
+
+TEST(ClusteredIndexTest, RecallAt64AtDefaultNprobe) {
+  // The acceptance gate in miniature: clustered data, default nprobe, R@64
+  // overlap with the exhaustive top-64 must stay >= 0.98.
+  const std::size_t n = 4000, d = 32, k = 64;
+  tensor::Tensor centers;
+  tensor::Tensor emb = MixtureEmbeddings(n, d, 16, 0.10f, 11, &centers);
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(emb, Iota(n)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+
+  util::Rng rng(12);
+  TopKScratch base_scratch;
+  ClusteredScratch probe_scratch;
+  std::vector<ScoredEntity> exact, probed;
+  double overlap_sum = 0.0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<float> q(d);
+    const std::size_t c = rng.NextUint64(centers.rows());
+    for (std::size_t j = 0; j < d; ++j) {
+      q[j] = centers.at(c, j) + 0.10f * static_cast<float>(rng.NextGaussian());
+    }
+    base.TopKInto(q.data(), k, &base_scratch, &exact);
+    clustered.TopKInto(q.data(), k, /*nprobe=*/0, &probe_scratch, &probed);
+    std::set<kb::EntityId> exact_ids;
+    for (const auto& e : exact) exact_ids.insert(e.id);
+    std::size_t overlap = 0;
+    for (const auto& e : probed) overlap += exact_ids.count(e.id);
+    overlap_sum += static_cast<double>(overlap) / static_cast<double>(k);
+  }
+  EXPECT_GE(overlap_sum / trials, 0.98);
+}
+
+TEST(ClusteredIndexTest, DeterministicBuildIsByteIdentical) {
+  // Same seed, same rows -> byte-identical clustering, with or without a
+  // thread pool (assignment is per-point independent; accumulation is a
+  // serial point-order pass).
+  const std::size_t n = 1200, d = 16;
+  tensor::Tensor emb = MixtureEmbeddings(n, d, 10, 0.2f, 21);
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(emb, Iota(n)).ok());
+
+  util::ThreadPool pool(4);
+  ClusteredIndexOptions options;
+  options.seed = 99;
+  ClusteredIndex serial, pooled;
+  ASSERT_TRUE(serial.Build(base, options, nullptr).ok());
+  ASSERT_TRUE(pooled.Build(base, options, &pool).ok());
+
+  EXPECT_EQ(serial.list_offsets(), pooled.list_offsets());
+  EXPECT_EQ(serial.list_entries(), pooled.list_entries());
+  util::BinaryWriter wa, wb;
+  serial.Save(&wa);
+  pooled.Save(&wb);
+  EXPECT_EQ(wa.buffer(), wb.buffer());
+
+  // A different seed draws different init rows -> a different clustering
+  // (sanity check that the seed actually reaches the build).
+  options.seed = 100;
+  ClusteredIndex other;
+  ASSERT_TRUE(other.Build(base, options).ok());
+  util::BinaryWriter wc;
+  other.Save(&wc);
+  EXPECT_NE(wa.buffer(), wc.buffer());
+}
+
+TEST(ClusteredIndexTest, ShardedMatchesSerialBitForBit) {
+  const std::size_t n = 3000, d = 24;
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(MixtureEmbeddings(n, d, 12, 0.2f, 31), Iota(n)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+
+  util::ThreadPool pool(4);
+  util::Rng rng(32);
+  ClusteredScratch serial_scratch;
+  ShardedScratch sharded_scratch;
+  std::vector<ScoredEntity> serial_hits, sharded_hits;
+  for (const std::size_t nprobe :
+       {std::size_t{1}, std::size_t{3}, clustered.default_nprobe(),
+        clustered.num_clusters()}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<float> q(d);
+      for (float& v : q) v = rng.NextFloat(-1, 1);
+      clustered.TopKInto(q.data(), 20, nprobe, &serial_scratch, &serial_hits);
+      clustered.TopKSharded(q.data(), 20, nprobe, &pool, &sharded_scratch,
+                            &sharded_hits);
+      ExpectSameHits(serial_hits, sharded_hits);
+    }
+  }
+}
+
+TEST(ClusteredIndexTest, ShardedMatchesSerialOnQuantizedBase) {
+  const std::size_t n = 2000, d = 16;
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(MixtureEmbeddings(n, d, 8, 0.2f, 41), Iota(n)).ok());
+  base.Quantize();
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+
+  util::ThreadPool pool(3);
+  util::Rng rng(42);
+  ClusteredScratch serial_scratch;
+  ShardedScratch sharded_scratch;
+  std::vector<ScoredEntity> serial_hits, sharded_hits;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    clustered.TopKInto(q.data(), 16, 0, &serial_scratch, &serial_hits);
+    clustered.TopKSharded(q.data(), 16, 0, &pool, &sharded_scratch,
+                          &sharded_hits);
+    ExpectSameHits(serial_hits, sharded_hits);
+  }
+}
+
+TEST(ClusteredIndexTest, EdgeCaseKZeroAndKOversized) {
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(RandomEmbeddings(40, 8, 51), Iota(40)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+  float q[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(clustered.TopK(q, 0).empty());
+  // Oversized k clamps to a full ranking of the probed rows (probe-all ->
+  // every row, exactly once).
+  auto all = clustered.TopK(q, 1000, clustered.num_clusters());
+  ASSERT_EQ(all.size(), 40u);
+  std::set<kb::EntityId> ids;
+  for (const auto& hit : all) ids.insert(hit.id);
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST(ClusteredIndexTest, SaveLoadRoundTripAndAttach) {
+  const std::size_t n = 800, d = 16;
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(MixtureEmbeddings(n, d, 8, 0.2f, 61), Iota(n)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+
+  const std::string path = "/tmp/metablink_clustered_index_test.ckpt";
+  ASSERT_TRUE(clustered.SaveToFile(path).ok());
+  ClusteredIndex restored;
+  ASSERT_TRUE(restored.LoadFromFile(path, &base).ok());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(restored.num_clusters(), clustered.num_clusters());
+  EXPECT_EQ(restored.default_nprobe(), clustered.default_nprobe());
+  EXPECT_EQ(restored.list_offsets(), clustered.list_offsets());
+  EXPECT_EQ(restored.list_entries(), clustered.list_entries());
+
+  util::Rng rng(62);
+  ClusteredScratch sa, sb;
+  std::vector<ScoredEntity> a, b;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    clustered.TopKInto(q.data(), 10, 0, &sa, &a);
+    restored.TopKInto(q.data(), 10, 0, &sb, &b);
+    ExpectSameHits(a, b);
+  }
+
+  // Attach rejects a base whose shape does not match the clustering.
+  DenseIndex wrong;
+  ASSERT_TRUE(wrong.Build(RandomEmbeddings(10, d, 63), Iota(10)).ok());
+  EXPECT_FALSE(restored.Attach(&wrong).ok());
+  ASSERT_TRUE(restored.Attach(&base).ok());
+}
+
+TEST(ClusteredIndexTest, LoadSurvivesBitFlipsWithCleanStatus) {
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(RandomEmbeddings(200, 8, 71), Iota(200)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+  const std::string path = "/tmp/metablink_clustered_corrupt_test.ckpt";
+  ASSERT_TRUE(clustered.SaveToFile(path).ok());
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  // Flip one bit at positions spread across header, section table, and
+  // payload: each corruption must surface as a clean non-OK Status (CRC,
+  // magic, or shape validation), never a crash or a silently wrong index.
+  for (std::size_t pos = 0; pos < bytes.size(); pos += bytes.size() / 23 + 1) {
+    std::vector<char> corrupt = bytes;
+    corrupt[pos] ^= 0x20;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    ClusteredIndex victim;
+    EXPECT_FALSE(victim.LoadFromFile(path, &base).ok())
+        << "bit flip at byte " << pos << " was not detected";
+  }
+  // Truncation is also a clean failure.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  ClusteredIndex victim;
+  EXPECT_FALSE(victim.LoadFromFile(path, &base).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ClusteredIndexTest, LoadRejectsGarbage) {
+  util::BinaryReader reader(std::vector<std::uint8_t>{9, 9, 9, 9});
+  ClusteredIndex clustered;
+  EXPECT_FALSE(clustered.Load(&reader).ok());
+}
+
+TEST(ClusteredIndexTest, ConcurrentQueryHammer) {
+  // 8 threads hammer the same immutable index concurrently — half through
+  // the serial probe with private scratch, half through the sharded probe
+  // over one shared pool (its dispatch uses per-call completion state).
+  // Every thread checks its results against precomputed serial answers;
+  // under TSan this doubles as the data-race check for the probe path.
+  const std::size_t n = 2000, d = 16, k = 12;
+  DenseIndex base;
+  ASSERT_TRUE(base.Build(MixtureEmbeddings(n, d, 8, 0.2f, 81), Iota(n)).ok());
+  base.Quantize();
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+
+  const std::size_t num_queries = 32;
+  tensor::Tensor queries = RandomEmbeddings(num_queries, d, 82);
+  std::vector<std::vector<ScoredEntity>> expected(num_queries);
+  {
+    ClusteredScratch scratch;
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      clustered.TopKInto(queries.row_data(i), k, 0, &scratch, &expected[i]);
+    }
+  }
+
+  util::ThreadPool shared_pool(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      ClusteredScratch scratch;
+      ShardedScratch sharded;
+      std::vector<ScoredEntity> hits;
+      for (int round = 0; round < 25; ++round) {
+        const std::size_t i = (t * 25 + round) % num_queries;
+        if (t % 2 == 0) {
+          clustered.TopKInto(queries.row_data(i), k, 0, &scratch, &hits);
+        } else {
+          clustered.TopKSharded(queries.row_data(i), k, 0, &shared_pool,
+                                &sharded, &hits);
+        }
+        if (hits.size() != expected[i].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t r = 0; r < hits.size(); ++r) {
+          if (hits[r].id != expected[i][r].id ||
+              hits[r].score != expected[i][r].score) {
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace metablink::retrieval

@@ -73,6 +73,70 @@ TEST(DenseIndexTest, KLargerThanIndexClamps) {
   EXPECT_EQ(index.TopK(q, 100).size(), 4u);
 }
 
+TEST(DenseIndexTest, EdgeCaseKZeroAndKOversizedAllPaths) {
+  // k == 0 returns no hits without touching the data; k > size() clamps to
+  // a full ranking. Pinned across every retrieval entry point.
+  const std::size_t n = 15, d = 4;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(n, d, 41), Iota(n)).ok());
+  index.Quantize();
+  float q[4] = {1, 0, -1, 0};
+
+  EXPECT_TRUE(index.TopK(q, 0).empty());
+  TopKScratch scratch;
+  std::vector<ScoredEntity> out{{3, 1.0f}};  // stale contents must be cleared
+  index.TopKInto(q, 0, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+  index.TopKQuantizedInto(q, 0, n, &scratch, &out);
+  EXPECT_TRUE(out.empty());
+  index.TopKInto(q, n + 50, &scratch, &out);
+  EXPECT_EQ(out.size(), n);
+  index.TopKQuantizedInto(q, n + 50, n, &scratch, &out);
+  EXPECT_EQ(out.size(), n);
+
+  tensor::Tensor queries = RandomEmbeddings(5, d, 42);
+  auto batched = index.BatchTopK(queries, 0);
+  ASSERT_EQ(batched.size(), 5u);
+  for (const auto& hits : batched) EXPECT_TRUE(hits.empty());
+  batched = index.BatchTopK(queries, n + 50);
+  for (const auto& hits : batched) EXPECT_EQ(hits.size(), n);
+}
+
+TEST(DenseIndexTest, BatchTopKScratchSizedOncePerTileShape) {
+  // The per-chunk tile and per-query buffers depend only on the tile-shape
+  // constants, so a reused scratch must not regrow between calls — the
+  // second batch reuses the first batch's allocations verbatim.
+  const std::size_t n = 1500, d = 24;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(n, d, 43), Iota(n)).ok());
+  tensor::Tensor queries = RandomEmbeddings(40, d, 44);
+
+  BatchTopKScratch scratch;
+  std::vector<std::vector<ScoredEntity>> out;
+  index.BatchTopKInto(queries, 8, nullptr, &scratch, &out);
+  ASSERT_FALSE(scratch.chunks.empty());
+  const float* tile_data = scratch.chunks[0].tile.data();
+  const std::size_t tile_cap = scratch.chunks[0].tile.capacity();
+  const std::size_t per_query = scratch.chunks[0].per_query.size();
+
+  index.BatchTopKInto(queries, 8, nullptr, &scratch, &out);
+  EXPECT_EQ(scratch.chunks[0].tile.data(), tile_data);
+  EXPECT_EQ(scratch.chunks[0].tile.capacity(), tile_cap);
+  EXPECT_EQ(scratch.chunks[0].per_query.size(), per_query);
+
+  // Results through the reused scratch still match the single-query path.
+  TopKScratch single;
+  std::vector<ScoredEntity> expected;
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    index.TopKInto(queries.row_data(i), 8, &single, &expected);
+    ASSERT_EQ(out[i].size(), expected.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(out[i][r].id, expected[r].id);
+      EXPECT_EQ(out[i][r].score, expected[r].score);
+    }
+  }
+}
+
 TEST(DenseIndexTest, DeterministicTieBreakById) {
   // Two identical rows: the smaller id must always come first.
   tensor::Tensor emb(3, 2);

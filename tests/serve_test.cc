@@ -59,7 +59,8 @@ class ServeTest : public ::testing::Test {
 
   /// Packages one pipeline's components as an artifact bundle under `dir`.
   void SaveBundle(const core::MetaBlinkPipeline& pipeline,
-                  const std::string& dir, std::uint64_t version) {
+                  const std::string& dir, std::uint64_t version,
+                  bool with_clustered = false) {
     const auto& ids = corpus_->kb.EntitiesInDomain("target");
     retrieval::DenseIndex index;
     ASSERT_TRUE(index
@@ -79,6 +80,11 @@ class ServeTest : public ::testing::Test {
     parts.kb = &corpus_->kb;
     parts.index = &index;
     parts.rerank_cache = &cache;
+    retrieval::ClusteredIndex clustered;
+    if (with_clustered) {
+      ASSERT_TRUE(clustered.Build(index, {}).ok());
+      parts.clustered = &clustered;
+    }
     ASSERT_TRUE(store::SaveModelBundle(parts, dir).ok());
   }
 
@@ -194,6 +200,76 @@ TEST_F(ServeTest, QuantizedServerMatchesFp32Server) {
                                  pipeline_->cross_encoder(), &corpus_->kb,
                                  "target", int8);
   ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t e = 0; e < 5; ++e) {
+    const auto& ex = split_.test[e];
+    auto ra = (*a)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    auto rb = (*b)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (std::size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].entity_id, (*rb)[i].entity_id);
+      EXPECT_EQ((*ra)[i].score, (*rb)[i].score);
+    }
+  }
+}
+
+TEST_F(ServeTest, ClusteredServerProbeAllMatchesFp32Server) {
+  // With nprobe clamped up to num_clusters the probe path visits every row,
+  // so a clustered server's responses are bit-identical to the exhaustive
+  // server's — the serving-level form of the probe-all parity invariant.
+  ServerOptions plain;
+  plain.retrieve_k = 16;
+  ServerOptions ivf = plain;
+  ivf.use_clustered = true;
+  ivf.nprobe = 1u << 20;  // clamps to num_clusters: probe-all
+  auto a = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", plain);
+  auto b = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", ivf);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t e = 0; e < 5; ++e) {
+    const auto& ex = split_.test[e];
+    auto ra = (*a)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    auto rb = (*b)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (std::size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].entity_id, (*rb)[i].entity_id);
+      EXPECT_EQ((*ra)[i].score, (*rb)[i].score);
+    }
+  }
+  // At the default nprobe the clustered server still answers every request
+  // (recall quality is gated in bench_retrieval, not here).
+  ServerOptions probe = plain;
+  probe.use_clustered = true;
+  auto c = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", probe);
+  ASSERT_TRUE(c.ok());
+  const auto& ex = split_.test[0];
+  auto rc = (*c)->Link(ex.mention, ex.left_context, ex.right_context, 5);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_FALSE(rc->empty());
+}
+
+TEST_F(ServeTest, ClusteredBundleRoundTripServes) {
+  // A bundle shipping the "clustered" artifact serves through the adopted
+  // clustering (re-attached after the bundle move) and, at probe-all,
+  // matches a plain server loaded from the same weights.
+  const std::string dir = "/tmp/metablink_serve_clustered_bundle";
+  SaveBundle(*pipeline_, dir, /*version=*/9, /*with_clustered=*/true);
+  ServerOptions plain;
+  plain.retrieve_k = 16;
+  ServerOptions ivf = plain;
+  ivf.use_clustered = true;
+  ivf.nprobe = 1u << 20;
+  auto a = LinkingServer::FromBundle(dir, plain);
+  auto b = LinkingServer::FromBundle(dir, ivf);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  EXPECT_EQ((*b)->Stats().model_version, 9u);
   for (std::size_t e = 0; e < 5; ++e) {
     const auto& ex = split_.test[e];
     auto ra = (*a)->Link(ex.mention, ex.left_context, ex.right_context, 5);

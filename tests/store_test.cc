@@ -536,6 +536,60 @@ TEST_F(BundleTest, LoadWithoutRerankCacheArtifact) {
   EXPECT_FALSE(bundle->has_rerank_cache);
 }
 
+TEST_F(BundleTest, ClusteredArtifactRoundTripAndCorruption) {
+  retrieval::ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(index_, {}).ok());
+  const std::string dir = TempPath("bundle_clustered");
+  {
+    ModelBundleParts parts;
+    parts.model_version = 7;
+    parts.domain = "target";
+    parts.bi = bi_.get();
+    parts.cross = cross_.get();
+    parts.kb = &corpus_->kb;
+    parts.index = &index_;
+    parts.clustered = &clustered;
+    ASSERT_TRUE(SaveModelBundle(parts, dir).ok());
+  }
+
+  auto bundle = LoadModelBundle(dir);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().message();
+  ASSERT_TRUE(bundle->has_clustered);
+  EXPECT_EQ(bundle->clustered.list_offsets(), clustered.list_offsets());
+  EXPECT_EQ(bundle->clustered.list_entries(), clustered.list_entries());
+
+  // Moving the bundle relocates its index, so the clustering must be
+  // re-attached at the destination before querying — after which probe
+  // results are identical to the original's.
+  ModelBundle moved = std::move(*bundle);
+  ASSERT_TRUE(moved.clustered.Attach(&moved.index).ok());
+  util::Rng rng(73);
+  std::vector<float> q(index_.dim());
+  for (float& v : q) v = rng.NextFloat(-1, 1);
+  const auto want = clustered.TopK(q.data(), 8);
+  const auto got = moved.clustered.TopK(q.data(), 8);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id);
+    EXPECT_EQ(want[i].score, got[i].score);
+  }
+
+  // A flipped byte or truncation in the clustered artifact fails the whole
+  // bundle load with a clean Status, exactly like the legacy artifacts.
+  const std::string path = dir + "/clustered.ckpt";
+  const std::vector<std::uint8_t> original = ReadAll(path);
+  ASSERT_FALSE(original.empty());
+  std::vector<std::uint8_t> flipped = original;
+  flipped[original.size() / 2] ^= 0x08;
+  WriteAll(path, flipped);
+  EXPECT_FALSE(LoadModelBundle(dir).ok());
+  std::vector<std::uint8_t> truncated(original.begin(), original.end() - 1);
+  WriteAll(path, truncated);
+  EXPECT_FALSE(LoadModelBundle(dir).ok());
+  WriteAll(path, original);
+  EXPECT_TRUE(LoadModelBundle(dir).ok());
+}
+
 TEST_F(BundleTest, CorruptionAnywhereIsACleanStatus) {
   const std::string dir = TempPath("bundle_corrupt");
   ASSERT_TRUE(Save(dir).ok());

@@ -19,6 +19,10 @@
 #                   round-trip + kill/resume bit-identity gates and the
 #                   hot-swap hammer (exit 1 if any Link fails or a swap
 #                   doesn't publish)
+#   8. retrieval  — bench_retrieval --smoke from stage 1's tree: clustered
+#                   IVF gates (probe-all == exhaustive bit-for-bit, sharded
+#                   == serial, deterministic rebuild, R@64 >= 0.98 at the
+#                   default nprobe)
 #
 # Fails fast: the first failing stage stops the run; a summary table of
 # per-stage PASS/FAIL/SKIP status is always printed on exit.
@@ -30,7 +34,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint)
+STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval)
 declare -A STATUS
 for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
 
@@ -107,6 +111,15 @@ echo "== stage: checkpoint =="
 ./build-check-default/bench/bench_checkpoint --smoke /tmp/metablink-smoke-checkpoint.json \
   || fail checkpoint
 STATUS[checkpoint]="PASS"
+
+echo
+echo "== stage: retrieval =="
+# Reduced clustered-index run: probe-all vs exhaustive bit-identity, sharded
+# vs serial bit-identity, deterministic-rebuild, and R@64 recall gates
+# (exit 1 on any violation), without the full-scale benchmark timings.
+./build-check-default/bench/bench_retrieval --smoke /tmp/metablink-smoke-retrieval.json \
+  || fail retrieval
+STATUS[retrieval]="PASS"
 
 echo
 echo "check.sh: all stages passed (or were skipped)"
