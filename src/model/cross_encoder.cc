@@ -172,17 +172,9 @@ void CrossEncoder::PrecomputeEntities(const std::vector<kb::Entity>& entities,
   for (float& v : out->entity_vec.data()) v = std::tanh(v);
 }
 
-void CrossEncoder::ScoreCachedInference(const data::LinkingExample& example,
-                                        const std::vector<std::size_t>& rows,
-                                        const CrossEntityCache& cache,
-                                        CrossScoreScratch* scratch,
-                                        std::vector<float>* out) const {
-  METABLINK_CHECK(!rows.empty()) << "no candidates to score";
-  const std::size_t c = rows.size();
+void CrossEncoder::MentionVecInto(const data::LinkingExample& example,
+                                  CrossScoreScratch* scratch) const {
   const std::size_t d = config_.dim;
-  const std::size_t in = 3 * d + kNumOverlapFeatures;
-
-  // Mention tower: identical to ScoreInference.
   featurizer_.MentionBagInto(example, &scratch->mention_bag);
   scratch->mention_vec.assign(d, 0.0f);
   if (!scratch->mention_bag.empty()) {
@@ -195,6 +187,20 @@ void CrossEncoder::ScoreCachedInference(const data::LinkingExample& example,
     }
   }
   for (float& v : scratch->mention_vec) v = std::tanh(v);
+}
+
+void CrossEncoder::ScoreCachedInference(const data::LinkingExample& example,
+                                        const std::vector<std::size_t>& rows,
+                                        const CrossEntityCache& cache,
+                                        CrossScoreScratch* scratch,
+                                        std::vector<float>* out) const {
+  METABLINK_CHECK(!rows.empty()) << "no candidates to score";
+  const std::size_t c = rows.size();
+  const std::size_t d = config_.dim;
+  const std::size_t in = 3 * d + kNumOverlapFeatures;
+
+  // Mention tower: identical to ScoreInference.
+  MentionVecInto(example, scratch);
 
   // Mention-side overlap tokens, once per request instead of per pair.
   featurizer_.PrecomputeMentionTokens(example, &scratch->mention_tokens);

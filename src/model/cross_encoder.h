@@ -97,6 +97,14 @@ class CrossEncoder {
                             CrossScoreScratch* scratch,
                             std::vector<float>* out) const;
 
+  /// Runs just the mention tower (bag gather + tanh) into
+  /// scratch->mention_vec — the per-request half of ScoreCachedInference,
+  /// exposed so the cascade's distilled tier can take the mention/entity
+  /// tower dot without paying for the scoring MLP. Bit-identical to the
+  /// vector ScoreCachedInference computes internally.
+  void MentionVecInto(const data::LinkingExample& example,
+                      CrossScoreScratch* scratch) const;
+
   tensor::ParameterStore* params() { return &params_; }
   const tensor::ParameterStore* params() const { return &params_; }
   const Featurizer& featurizer() const { return featurizer_; }

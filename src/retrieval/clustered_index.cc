@@ -295,11 +295,10 @@ void ClusteredIndex::ScanProbeSlice(
       if (use_int8) {
         // Integer scan keyed by row POSITION: approximate scores feed the
         // bounded candidate pool, which RescoreAndSelect re-scores in fp32.
+        // DotInt8 dispatches to AVX2 when available and is exact either
+        // way, so the pool is bit-identical to the scalar scan.
         const std::int8_t* row = base_->QuantizedRowAt(pos);
-        std::int32_t acc = 0;
-        for (std::size_t j = 0; j < d; ++j) {
-          acc += static_cast<std::int32_t>(qq[j]) * row[j];
-        }
+        const std::int32_t acc = internal::DotInt8(qq, row, d);
         const float score = static_cast<float>(acc) * qscale *
                             base_->QuantizedScaleAt(pos);
         OfferCandidate({pos, score}, pool_cap, &scratch->pool);

@@ -323,11 +323,10 @@ void DenseIndex::TopKQuantizedInto(const float* query, std::size_t k,
   for (std::size_t e0 = 0; e0 < total; e0 += kEntityBlock) {
     const std::size_t count = std::min(kEntityBlock, total - e0);
     for (std::size_t i = 0; i < count; ++i) {
+      // Exact int8 dot (AVX2 when available): the approximate scores — and
+      // hence the surviving pool — are bit-identical to the scalar scan.
       const std::int8_t* row = q_rows_.data() + (e0 + i) * d;
-      std::int32_t acc = 0;
-      for (std::size_t j = 0; j < d; ++j) {
-        acc += static_cast<std::int32_t>(qq[j]) * row[j];
-      }
+      const std::int32_t acc = internal::DotInt8(qq, row, d);
       scratch->scores[i] =
           static_cast<float>(acc) * qscale * q_scales_[e0 + i];
     }

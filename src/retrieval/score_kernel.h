@@ -2,6 +2,7 @@
 #define METABLINK_RETRIEVAL_SCORE_KERNEL_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace metablink::retrieval::internal {
 
@@ -24,6 +25,18 @@ void ScoreTileF32(const float* queries, const float* entities, float* tile,
 /// True when the runtime-dispatched AVX2+FMA tile kernel is active (x86
 /// with AVX2/FMA support); false on the portable scalar fallback.
 bool ScoreTileUsesSimd();
+
+/// Exact int8 inner product: sum of a[p] * b[p] widened to int32. Both the
+/// SIMD and scalar implementations compute the identical integer (widening
+/// products cannot overflow int16*2 -> int32 for any d <= 2^16), so the
+/// quantized candidate pool is bit-identical whichever kernel is dispatched
+/// — the same contract the clustered-index probe and TopKQuantized rely on.
+std::int32_t DotInt8(const std::int8_t* a, const std::int8_t* b,
+                     std::size_t d);
+
+/// True when the runtime-dispatched AVX2 int8 dot kernel is active; false
+/// on the portable scalar fallback.
+bool DotInt8UsesSimd();
 
 }  // namespace metablink::retrieval::internal
 

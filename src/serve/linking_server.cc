@@ -1,6 +1,7 @@
 #include "serve/linking_server.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "util/logging.h"
@@ -129,7 +130,34 @@ LinkingServer::BuildEpoch(const model::BiEncoder* bi,
   cross->PrecomputeEntities(entities, &epoch->cross_cache);
   epoch->entity_pos.reserve(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) epoch->entity_pos[ids[i]] = i;
+  METABLINK_RETURN_IF_ERROR(ResolveCascade(options, nullptr, epoch.get()));
   return epoch;
+}
+
+util::Status LinkingServer::ResolveCascade(const ServerOptions& options,
+                                           const model::CascadeModel* artifact,
+                                           ModelEpoch* epoch) {
+  if (artifact != nullptr) {
+    epoch->cascade = *artifact;
+  } else if (options.cascade != nullptr) {
+    epoch->cascade = *options.cascade;
+  }
+  if (options.rerank_head_k > 0) {
+    epoch->cascade.config.rerank_head_k = options.rerank_head_k;
+  }
+  if (options.margin_tau >= 0.0f) {
+    epoch->cascade.config.margin_tau = options.margin_tau;
+  }
+  epoch->cascade.config.rerank_head_k =
+      std::max<std::size_t>(1, epoch->cascade.config.rerank_head_k);
+  if (epoch->cascade.has_scorer() &&
+      epoch->cascade.weights.size() !=
+          model::CascadeFeatureCount(epoch->cross->config().dim)) {
+    return util::Status::InvalidArgument(
+        "cascade scorer was distilled for a different cross-encoder "
+        "dimension");
+  }
+  return util::Status::OK();
 }
 
 util::Result<std::shared_ptr<LinkingServer::ModelEpoch>>
@@ -174,6 +202,9 @@ LinkingServer::BuildEpochFromBundle(store::ModelBundle bundle,
   }
   epoch->entity_pos.reserve(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) epoch->entity_pos[ids[i]] = i;
+  METABLINK_RETURN_IF_ERROR(
+      ResolveCascade(options, b.has_cascade ? &b.cascade : nullptr,
+                     epoch.get()));
   return epoch;
 }
 
@@ -360,31 +391,120 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
   if (rerank_scratch_.size() < std::max<std::size_t>(1, pool_.num_threads())) {
     rerank_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
   }
+  // Tier taken by each request: 0 exited, 1 distilled, 2 full. Tier
+  // selection depends only on the request's own retrieval result and the
+  // epoch's immutable cascade config, so assignments (and responses) are
+  // identical whatever the batch composition or chunking — the counters
+  // summed from this vector always total m.
+  constexpr std::uint8_t kTierExited = 0;
+  constexpr std::uint8_t kTierDistilled = 1;
+  constexpr std::uint8_t kTierFull = 2;
+  const bool use_cascade = options_.use_cascade;
+  std::vector<std::uint8_t> tiers(m, kTierFull);
   pool_.ParallelForChunks(
-      m, 0, [this, &epoch, batch, &batch_latencies, &outcomes](
-                std::size_t chunk, std::size_t begin, std::size_t end) {
+      m, 0, [this, &epoch, batch, &batch_latencies, &outcomes, &tiers,
+             use_cascade](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
         RerankScratch& scratch = rerank_scratch_[chunk];
+        const model::CascadeConfig& config = epoch->cascade.config;
         for (std::size_t i = begin; i < end; ++i) {
           Request& req = (*batch)[i];
           std::vector<retrieval::ScoredEntity>& cands = batch_hits_[i];
-          if (cands.empty()) continue;  // keep the NotFound outcome
-          scratch.rows.clear();
-          scratch.rows.reserve(cands.size());
-          for (const auto& c : cands) {
-            scratch.rows.push_back(epoch->entity_pos.at(c.id));
+          if (cands.empty()) {
+            // Nothing to rerank: under the cascade this counts as an
+            // exit; off-cascade it stays a (vacuous) full rerank.
+            if (use_cascade) tiers[i] = kTierExited;
+            continue;  // keep the NotFound outcome
           }
-          epoch->cross->ScoreCachedInference(req.example, scratch.rows,
-                                             epoch->cross_cache,
-                                             &scratch.cross, &scratch.scores);
-          for (std::size_t c = 0; c < cands.size(); ++c) {
-            cands[c].score = scratch.scores[c];
+          if (!use_cascade) {
+            // The pre-cascade serving path, byte for byte: cross-encode
+            // and re-sort the entire candidate list.
+            scratch.rows.clear();
+            scratch.rows.reserve(cands.size());
+            for (const auto& c : cands) {
+              scratch.rows.push_back(epoch->entity_pos.at(c.id));
+            }
+            epoch->cross->ScoreCachedInference(
+                req.example, scratch.rows, epoch->cross_cache,
+                &scratch.cross, &scratch.scores);
+            for (std::size_t c = 0; c < cands.size(); ++c) {
+              cands[c].score = scratch.scores[c];
+            }
+            std::sort(cands.begin(), cands.end(),
+                      [](const retrieval::ScoredEntity& a,
+                         const retrieval::ScoredEntity& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.id < b.id;
+                      });
+          } else {
+            const float margin =
+                cands.size() > 1
+                    ? cands[0].score - cands[1].score
+                    : std::numeric_limits<float>::infinity();
+            if (margin >= config.margin_tau) {
+              // Tier 1 — early exit: retrieval is confident enough that
+              // calibration proved rerank would not change the answer.
+              tiers[i] = kTierExited;
+            } else {
+              // Ambiguous head: candidates within band_epsilon of top1,
+              // capped at rerank_head_k, never empty. The tail keeps its
+              // retrieval order and scores.
+              std::size_t head = 1;
+              while (head < cands.size() && head < config.rerank_head_k &&
+                     cands[0].score - cands[head].score <=
+                         config.band_epsilon) {
+                ++head;
+              }
+              if (margin >= config.distill_tau &&
+                  epoch->cascade.has_scorer()) {
+                // Tier 2 — distilled scorer over the head.
+                tiers[i] = kTierDistilled;
+                scratch.strip.resize(cands.size());
+                for (std::size_t c = 0; c < cands.size(); ++c) {
+                  scratch.strip[c] = cands[c].score;
+                }
+                epoch->cross->featurizer().PrecomputeMentionTokens(
+                    req.example, &scratch.cross.mention_tokens);
+                epoch->cross->MentionVecInto(req.example, &scratch.cross);
+                const std::size_t cross_d =
+                    epoch->cross_cache.entity_vec.cols();
+                scratch.features.resize(model::CascadeFeatureCount(cross_d));
+                scratch.scores.resize(head);
+                for (std::size_t r = 0; r < head; ++r) {
+                  const std::size_t pos = epoch->entity_pos.at(cands[r].id);
+                  model::CascadeFeaturesInto(
+                      scratch.strip.data(), cands.size(), r,
+                      scratch.cross.mention_vec.data(),
+                      epoch->cross_cache.entity_vec.row_data(pos), cross_d,
+                      scratch.cross.mention_tokens,
+                      epoch->cross_cache.tokens[pos],
+                      epoch->cross->featurizer(), scratch.features.data());
+                  scratch.scores[r] =
+                      epoch->cascade.ScoreFeatures(scratch.features.data());
+                }
+              } else {
+                // Tier 3 — full cross-encoder, but only over the head.
+                tiers[i] = kTierFull;
+                scratch.rows.clear();
+                scratch.rows.reserve(head);
+                for (std::size_t r = 0; r < head; ++r) {
+                  scratch.rows.push_back(epoch->entity_pos.at(cands[r].id));
+                }
+                epoch->cross->ScoreCachedInference(
+                    req.example, scratch.rows, epoch->cross_cache,
+                    &scratch.cross, &scratch.scores);
+              }
+              for (std::size_t r = 0; r < head; ++r) {
+                cands[r].score = scratch.scores[r];
+              }
+              std::sort(cands.begin(), cands.begin() + head,
+                        [](const retrieval::ScoredEntity& a,
+                           const retrieval::ScoredEntity& b) {
+                          if (a.score != b.score) return a.score > b.score;
+                          return a.id < b.id;
+                        });
+            }
           }
-          std::sort(cands.begin(), cands.end(),
-                    [](const retrieval::ScoredEntity& a,
-                       const retrieval::ScoredEntity& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.id < b.id;
-                    });
           if (cands.size() > req.top_k) cands.resize(req.top_k);
           std::vector<core::LinkPrediction> predictions;
           predictions.reserve(cands.size());
@@ -416,6 +536,13 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
         std::chrono::duration<double, std::milli>(t2 - t1).count();
     stats_.rerank_ms +=
         std::chrono::duration<double, std::milli>(t3 - t2).count();
+    for (std::size_t i = 0; i < m; ++i) {
+      switch (tiers[i]) {
+        case kTierExited: ++stats_.rerank_exited; break;
+        case kTierDistilled: ++stats_.rerank_distilled; break;
+        default: ++stats_.rerank_full; break;
+      }
+    }
     for (std::size_t i = 0; i < m; ++i) {
       if (outcomes[i].ok()) latencies_ms_.push_back(batch_latencies[i]);
     }

@@ -17,6 +17,7 @@
 #include "core/few_shot_linker.h"
 #include "kb/knowledge_base.h"
 #include "model/bi_encoder.h"
+#include "model/cascade.h"
 #include "model/cross_encoder.h"
 #include "retrieval/clustered_index.h"
 #include "retrieval/dense_index.h"
@@ -54,6 +55,26 @@ struct ServerOptions {
   /// inside the model version it was filled against, so a SwapModel never
   /// serves stale features.
   std::size_t cache_capacity = 1024;
+  /// Serve re-ranking through the three-tier adaptive cascade (see
+  /// model::CascadeConfig): confident requests exit on the retrieval
+  /// margin, middle-confidence requests rescore the ambiguous head with
+  /// the distilled scorer, and only the rest cross-encode the head. Off
+  /// (the default) serves the exact full-rerank path of previous builds,
+  /// byte for byte.
+  bool use_cascade = false;
+  /// Override of the cascade's ambiguous-head cap; 0 adopts the cascade
+  /// model's own calibrated value.
+  std::size_t rerank_head_k = 0;
+  /// Override of the cascade's early-exit margin threshold; negative
+  /// adopts the cascade model's calibrated value.
+  float margin_tau = -1.0f;
+  /// Borrowed calibrated cascade policy (train::CalibrateCascade) for
+  /// servers built over raw components or bundles without a "cascade"
+  /// artifact; must outlive the server. A bundle's own artifact takes
+  /// precedence. Null with use_cascade serves an uncalibrated default
+  /// config (never exit, no distilled tier, partial rerank of the top
+  /// model::CascadeConfig{}.rerank_head_k).
+  const model::CascadeModel* cascade = nullptr;
 };
 
 /// Monotonic serving counters, snapshotted by Stats(). Stage times are
@@ -71,6 +92,14 @@ struct ServerStats {
   std::uint64_t model_version = 0;
   /// Successful SwapModel calls since construction.
   std::uint64_t swaps = 0;
+  /// Per-tier rerank outcomes. Every request lands in exactly one tier, so
+  /// rerank_exited + rerank_distilled + rerank_full == requests — always.
+  /// With the cascade off every request counts as rerank_full; a request
+  /// with no retrieved candidates counts as rerank_exited when the cascade
+  /// is on (there is nothing to rerank).
+  std::uint64_t rerank_exited = 0;
+  std::uint64_t rerank_distilled = 0;
+  std::uint64_t rerank_full = 0;
 };
 
 /// Production-style serving front-end for a fitted MetaBLINK system.
@@ -190,6 +219,11 @@ class LinkingServer {
     /// member (re-attached after any bundle move).
     retrieval::ClusteredIndex clustered;
     model::CrossEntityCache cross_cache;
+    /// Resolved cascade policy for this epoch: the bundle's "cascade"
+    /// artifact when present, else ServerOptions::cascade, else the
+    /// uncalibrated default — with the ServerOptions scalar overrides
+    /// applied last. Read only when ServerOptions::use_cascade.
+    model::CascadeModel cascade;
     std::unordered_map<kb::EntityId, std::size_t> entity_pos;
     // Feature LRU: key -> list node of (key, feature).
     LruList lru;
@@ -211,6 +245,13 @@ class LinkingServer {
   /// adopts or recomputes the rerank cache, and derives the id -> row map.
   static util::Result<std::shared_ptr<ModelEpoch>> BuildEpochFromBundle(
       store::ModelBundle bundle, const ServerOptions& options);
+
+  /// Installs the epoch's resolved cascade policy: `artifact` (a bundle's
+  /// "cascade" section) wins over options.cascade wins over the default
+  /// config, then the ServerOptions scalar overrides are applied.
+  static util::Status ResolveCascade(const ServerOptions& options,
+                             const model::CascadeModel* artifact,
+                             ModelEpoch* epoch);
 
   void SchedulerLoop();
   void ServeBatch(std::vector<Request>* batch);
@@ -257,6 +298,10 @@ class LinkingServer {
     model::CrossScoreScratch cross;
     std::vector<float> scores;
     std::vector<std::size_t> rows;
+    /// Cascade-only buffers: the retrieval-score strip feeding
+    /// CascadeFeaturesInto and one distilled feature row.
+    std::vector<float> strip;
+    std::vector<float> features;
   };
   std::vector<RerankScratch> rerank_scratch_;
   std::vector<std::size_t> miss_idx_;

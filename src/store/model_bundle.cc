@@ -150,6 +150,16 @@ util::Status SaveModelBundle(const ModelBundleParts& parts,
     METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("clustered",
                                                  "clustered.ckpt", ckpt));
   }
+  if (parts.cascade != nullptr) {
+    if (parts.cascade->config.rerank_head_k == 0) {
+      return util::Status::InvalidArgument(
+          "bundle cascade rerank_head_k must be >= 1");
+    }
+    CheckpointWriter ckpt;
+    parts.cascade->Save(ckpt.AddSection("cascade"));
+    METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("cascade", "cascade.ckpt",
+                                                 ckpt));
+  }
   return bundle.Finalize(parts.model_version, parts.domain);
 }
 
@@ -229,6 +239,15 @@ util::Result<ModelBundle> LoadModelBundle(const std::string& dir) {
     // artifacts even though each passed its CRC.
     METABLINK_RETURN_IF_ERROR(out.clustered.Attach(&out.index));
     out.has_clustered = true;
+  }
+
+  if (bundle->Has("cascade")) {
+    auto cascade_ckpt = bundle->OpenArtifact("cascade");
+    if (!cascade_ckpt.ok()) return cascade_ckpt.status();
+    auto cascade_section = cascade_ckpt->Section("cascade");
+    if (!cascade_section.ok()) return cascade_section.status();
+    METABLINK_RETURN_IF_ERROR(out.cascade.Load(&*cascade_section));
+    out.has_cascade = true;
   }
   return out;
 }

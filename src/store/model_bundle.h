@@ -7,6 +7,7 @@
 
 #include "kb/knowledge_base.h"
 #include "model/bi_encoder.h"
+#include "model/cascade.h"
 #include "model/cross_encoder.h"
 #include "retrieval/clustered_index.h"
 #include "retrieval/dense_index.h"
@@ -29,6 +30,10 @@ struct ModelBundleParts {
   /// Optional clustered (IVF) form of `index`; nullptr skips the artifact
   /// and a clustered-serving loader rebuilds it instead.
   const retrieval::ClusteredIndex* clustered = nullptr;
+  /// Optional calibrated rerank-cascade policy (train::CalibrateCascade);
+  /// nullptr skips the artifact and a cascade-serving loader falls back to
+  /// ServerOptions::cascade or the uncalibrated default.
+  const model::CascadeModel* cascade = nullptr;
 };
 
 /// A fully loaded serving model: everything LinkingServer needs to answer
@@ -49,6 +54,9 @@ struct ModelBundle {
   /// the bundle's final resting place before querying through it.
   bool has_clustered = false;
   retrieval::ClusteredIndex clustered;
+  /// Calibrated cascade policy, present when the bundle shipped one.
+  bool has_cascade = false;
+  model::CascadeModel cascade;
 };
 
 /// Packages `parts` into the bundle directory `dir`: one checkpoint

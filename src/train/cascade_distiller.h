@@ -1,0 +1,90 @@
+#ifndef METABLINK_TRAIN_CASCADE_DISTILLER_H_
+#define METABLINK_TRAIN_CASCADE_DISTILLER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "kb/knowledge_base.h"
+#include "model/bi_encoder.h"
+#include "model/cascade.h"
+#include "model/cross_encoder.h"
+#include "util/status.h"
+
+namespace metablink::train {
+
+/// Knobs for CalibrateCascade.
+struct CascadeCalibrationOptions {
+  /// Candidate-list length; matches ServerOptions::retrieve_k at serving
+  /// time so calibration sees the lists the cascade will see.
+  std::size_t retrieve_k = 64;
+  /// Maximum NET exact-match answers (in example counts, may be
+  /// fractional) the calibrated cascade is allowed to lose vs full rerank
+  /// on the calibration set. The default 0 means "no net drop": the
+  /// simulated cascade's calibration-set accuracy is >= full rerank's.
+  double harm_budget = 0.0;
+  /// Full-batch Adam steps for the distilled linear scorer.
+  std::size_t distill_steps = 400;
+  float distill_lr = 0.05f;
+};
+
+/// Diagnostics from one calibration run (all measured on the calibration
+/// examples themselves).
+struct CascadeCalibrationReport {
+  std::size_t examples = 0;
+  /// Requests whose margin clears margin_tau (would exit).
+  std::size_t exit_eligible = 0;
+  /// Requests in [distill_tau, margin_tau) (would use the distilled tier).
+  std::size_t distill_eligible = 0;
+  /// Final ambiguous-head cap after the budgeted shrink.
+  std::size_t head_k = 0;
+  /// Mean squared error of the distilled scorer vs cross-encoder targets.
+  double distill_mse = 0.0;
+  /// Exact-match accuracy of full cross-encoder rerank over all retrieve_k.
+  double accuracy_full = 0.0;
+  /// Exact-match accuracy of the simulated cascade with the calibrated
+  /// thresholds. With the default harm_budget of 0 calibration guarantees
+  /// accuracy_cascade >= accuracy_full on this set.
+  double accuracy_cascade = 0.0;
+};
+
+/// Calibrates the three-tier rerank cascade and distills its middle-tier
+/// scorer against the frozen bi/cross encoders, offline, on `examples`
+/// (a Zeshel-like eval slice of `domain`).
+///
+/// Procedure (deterministic; no RNG). Every knob is chosen against a
+/// shared NET gold-accuracy harm budget (`harm_budget`, default 0): a
+/// decision that loses an answer full rerank got right costs 1, one that
+/// gains an answer full rerank missed earns 1 back, and no knob may push
+/// the running total past the budget.
+///   1. Retrieve top-`retrieve_k` per example with an exact fp32 index
+///      built exactly like a serving epoch, then full cross-encoder rerank
+///      through the same ScoreCachedInference path the server uses.
+///   2. margin_tau = the exact margin bounding the largest high-margin
+///      prefix whose net harm from exiting (answering with retrieval
+///      top1) fits the budget; margin ties exit together or not at all.
+///   3. rerank_head_k = the smallest head cap, and band_epsilon = the
+///      smallest score band, whose net harm from answering non-exited
+///      examples with the cross-argmax over the banded head fits the
+///      remaining budget (cap = retrieve_k is always feasible: harm 0).
+///   4. The distilled scorer (linear over model::CascadeFeatureCount(d)) is
+///      trained full-batch against the cross-encoder's head scores with
+///      Adam from the trainer substrate; distill_tau bounds the largest
+///      high-margin prefix of non-exited examples whose net harm from
+///      swapping the full tier for the distilled ranking fits what is
+///      left of the budget.
+///
+/// With the default budget of 0 the simulated cascade's calibration-set
+/// accuracy is never below full rerank's — the accuracy-delta gate in
+/// bench_serving measures exactly how this transfers to serving.
+util::Result<model::CascadeModel> CalibrateCascade(
+    const model::BiEncoder& bi, const model::CrossEncoder& cross,
+    const kb::KnowledgeBase& kb, const std::string& domain,
+    const std::vector<data::LinkingExample>& examples,
+    const CascadeCalibrationOptions& options = {},
+    CascadeCalibrationReport* report = nullptr);
+
+}  // namespace metablink::train
+
+#endif  // METABLINK_TRAIN_CASCADE_DISTILLER_H_

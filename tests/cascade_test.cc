@@ -1,0 +1,486 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "model/bi_encoder.h"
+#include "model/cascade.h"
+#include "model/cross_encoder.h"
+#include "retrieval/dense_index.h"
+#include "serve/linking_server.h"
+#include "store/model_bundle.h"
+#include "train/cascade_distiller.h"
+#include "util/rng.h"
+
+namespace metablink {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "metablink_cascade_" + name;
+}
+
+/// One served response stream, fully materialized for byte-identity
+/// comparison (ids and exact float scores of every returned prediction).
+struct Responses {
+  std::vector<std::vector<kb::EntityId>> ids;
+  std::vector<std::vector<float>> scores;
+  serve::ServerStats stats;
+
+  bool operator==(const Responses& other) const {
+    return ids == other.ids && scores == other.scores;
+  }
+};
+
+/// Cascade contract tests: a small single-domain world served by
+/// UNTRAINED encoders. Calibration's budget guarantee and every serving
+/// contract (byte identity, tier accounting, determinism) must hold for
+/// arbitrary weights — noisy margins are the stress case, not a nuisance.
+class CascadeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorOptions gopts;
+    gopts.seed = 515;
+    gopts.shared_vocab_size = 400;
+    gopts.domain_vocab_size = 200;
+    data::ZeshelLikeGenerator gen(gopts);
+    std::vector<data::DomainSpec> specs(1);
+    specs[0].name = "serving";
+    specs[0].num_entities = 150;
+    specs[0].num_examples = 48;
+    specs[0].num_documents = 24;
+    corpus_ = std::make_unique<data::Corpus>(std::move(*gen.Generate(specs)));
+
+    model::BiEncoderConfig bi_cfg;
+    bi_cfg.features.hasher.num_buckets = 4096;
+    bi_cfg.dim = 32;
+    model::CrossEncoderConfig cross_cfg;
+    cross_cfg.features.hasher.num_buckets = 4096;
+    cross_cfg.dim = 32;
+    cross_cfg.hidden = 32;
+    util::Rng bi_rng(21), cross_rng(22);
+    bi_ = std::make_unique<model::BiEncoder>(bi_cfg, &bi_rng);
+    cross_ = std::make_unique<model::CrossEncoder>(cross_cfg, &cross_rng);
+  }
+
+  serve::ServerOptions BaseOptions() const {
+    serve::ServerOptions opts;
+    opts.max_batch = 8;
+    opts.flush_deadline_us = 200;
+    opts.retrieve_k = 16;
+    opts.cache_capacity = 64;
+    return opts;
+  }
+
+  std::unique_ptr<serve::LinkingServer> MakeServer(
+      const serve::ServerOptions& opts) {
+    auto server = serve::LinkingServer::Create(bi_.get(), cross_.get(),
+                                               &corpus_->kb, "serving", opts);
+    EXPECT_TRUE(server.ok()) << server.status().message();
+    return std::move(*server);
+  }
+
+  /// Serves every corpus example through `server` with `threads`
+  /// concurrent clients (thread t owns a contiguous slice, so streams are
+  /// position-comparable across runs).
+  Responses Drive(serve::LinkingServer* server, std::size_t threads = 1) {
+    const auto& examples = corpus_->ExamplesIn("serving");
+    Responses out;
+    out.ids.resize(examples.size());
+    out.scores.resize(examples.size());
+    const std::size_t per = examples.size() / threads;
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        const std::size_t end =
+            t + 1 == threads ? examples.size() : (t + 1) * per;
+        for (std::size_t i = t * per; i < end; ++i) {
+          const auto& ex = examples[i];
+          auto got = server->Link(ex.mention, ex.left_context,
+                                  ex.right_context, 5);
+          ASSERT_TRUE(got.ok()) << got.status().message();
+          for (const auto& p : *got) {
+            out.ids[i].push_back(p.entity_id);
+            out.scores[i].push_back(p.score);
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    out.stats = server->Stats();
+    return out;
+  }
+
+  model::CascadeModel Calibrate(
+      train::CascadeCalibrationReport* report = nullptr) {
+    train::CascadeCalibrationOptions opts;
+    opts.retrieve_k = 16;
+    opts.distill_steps = 60;
+    auto calibrated = train::CalibrateCascade(
+        *bi_, *cross_, corpus_->kb, "serving",
+        corpus_->ExamplesIn("serving"), opts, report);
+    EXPECT_TRUE(calibrated.ok()) << calibrated.status().message();
+    return *std::move(calibrated);
+  }
+
+  /// A synthetic scorer-bearing cascade sized for this cross-encoder.
+  model::CascadeModel WithScorer(model::CascadeConfig config) const {
+    model::CascadeModel m;
+    m.config = config;
+    m.weights.assign(model::CascadeFeatureCount(cross_->config().dim), 0.0f);
+    return m;
+  }
+
+  std::unique_ptr<data::Corpus> corpus_;
+  std::unique_ptr<model::BiEncoder> bi_;
+  std::unique_ptr<model::CrossEncoder> cross_;
+};
+
+// ---- Calibration -----------------------------------------------------------
+
+TEST_F(CascadeTest, CalibrationNeverNetWorseOnItsOwnSet) {
+  train::CascadeCalibrationReport report;
+  const model::CascadeModel cascade = Calibrate(&report);
+  EXPECT_EQ(report.examples, corpus_->ExamplesIn("serving").size());
+  // The harm budget defaults to 0: the simulated cascade may not answer
+  // worse than full rerank on the calibration set, net — even with these
+  // untrained, uncorrelated encoders.
+  EXPECT_GE(report.accuracy_cascade, report.accuracy_full);
+  EXPECT_GE(cascade.config.rerank_head_k, 1u);
+  EXPECT_LE(cascade.config.rerank_head_k, 16u);
+  EXPECT_FALSE(std::isnan(cascade.config.margin_tau));
+  EXPECT_FALSE(std::isnan(cascade.config.band_epsilon));
+  EXPECT_EQ(report.exit_eligible + report.distill_eligible <= report.examples,
+            true);
+}
+
+TEST_F(CascadeTest, CalibrationIsDeterministic) {
+  const model::CascadeModel a = Calibrate();
+  const model::CascadeModel b = Calibrate();
+  EXPECT_EQ(a.config.margin_tau, b.config.margin_tau);
+  EXPECT_EQ(a.config.distill_tau, b.config.distill_tau);
+  EXPECT_EQ(a.config.band_epsilon, b.config.band_epsilon);
+  EXPECT_EQ(a.config.rerank_head_k, b.config.rerank_head_k);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.bias, b.bias);
+}
+
+// ---- Serving byte-identity -------------------------------------------------
+
+TEST_F(CascadeTest, CascadeOffIsByteIdenticalToPlainServer) {
+  const model::CascadeModel cascade = Calibrate();
+  auto plain = MakeServer(BaseOptions());
+  const Responses base = Drive(plain.get());
+
+  serve::ServerOptions off = BaseOptions();
+  off.cascade = &cascade;  // present but not enabled
+  auto off_server = MakeServer(off);
+  const Responses off_run = Drive(off_server.get());
+
+  EXPECT_TRUE(base == off_run);
+  // Off = every request is a full rerank.
+  EXPECT_EQ(off_run.stats.rerank_full, off_run.stats.requests);
+  EXPECT_EQ(off_run.stats.rerank_exited, 0u);
+  EXPECT_EQ(off_run.stats.rerank_distilled, 0u);
+}
+
+TEST_F(CascadeTest, ForcedFullHeadIsByteIdenticalThroughCascadePath) {
+  auto plain = MakeServer(BaseOptions());
+  const Responses base = Drive(plain.get());
+
+  // Never exit, never distill, head cap = retrieve_k: the cascade code
+  // path must reproduce full rerank byte for byte.
+  model::CascadeModel fullhead;
+  fullhead.config.rerank_head_k = 16;
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &fullhead;
+  auto on_server = MakeServer(on);
+  const Responses run = Drive(on_server.get());
+
+  EXPECT_TRUE(base == run);
+  EXPECT_EQ(run.stats.rerank_full, run.stats.requests);
+}
+
+// ---- Tier routing and accounting -------------------------------------------
+
+TEST_F(CascadeTest, TierCountersAlwaysSumToRequests) {
+  const model::CascadeModel cascade = Calibrate();
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &cascade;
+  auto server = MakeServer(on);
+  const Responses run = Drive(server.get());
+  EXPECT_EQ(run.stats.rerank_exited + run.stats.rerank_distilled +
+                run.stats.rerank_full,
+            run.stats.requests);
+  EXPECT_EQ(run.stats.requests, corpus_->ExamplesIn("serving").size());
+}
+
+TEST_F(CascadeTest, ZeroMarginTauExitsEveryRequest) {
+  model::CascadeModel cascade;  // margin_tau overridden below
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &cascade;
+  on.margin_tau = 0.0f;  // margin >= 0 always holds
+  auto server = MakeServer(on);
+  const Responses run = Drive(server.get());
+  EXPECT_EQ(run.stats.rerank_exited, run.stats.requests);
+  EXPECT_EQ(run.stats.rerank_full, 0u);
+}
+
+TEST_F(CascadeTest, InfiniteMarginTauNeverExits) {
+  model::CascadeModel cascade;  // default margin_tau = +inf, no scorer
+  cascade.config.rerank_head_k = 4;
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &cascade;
+  auto server = MakeServer(on);
+  const Responses run = Drive(server.get());
+  EXPECT_EQ(run.stats.rerank_exited, 0u);
+  EXPECT_EQ(run.stats.rerank_full, run.stats.requests);
+}
+
+TEST_F(CascadeTest, RetrieveKOneExitsEverything) {
+  // A single candidate has margin +inf, which clears any finite tau; with
+  // the cascade on there is nothing to rerank.
+  model::CascadeModel cascade;
+  serve::ServerOptions on = BaseOptions();
+  on.retrieve_k = 1;
+  on.use_cascade = true;
+  on.cascade = &cascade;
+  on.margin_tau = 1e6f;
+  auto server = MakeServer(on);
+  const Responses run = Drive(server.get());
+  EXPECT_EQ(run.stats.rerank_exited, run.stats.requests);
+}
+
+TEST_F(CascadeTest, ZeroDistillTauRoutesEverythingThroughScorer) {
+  model::CascadeConfig config;
+  config.margin_tau = kInf;  // never exit
+  config.distill_tau = 0.0f;
+  config.rerank_head_k = 8;
+  const model::CascadeModel cascade = WithScorer(config);
+  ASSERT_TRUE(cascade.has_scorer());
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &cascade;
+  auto server = MakeServer(on);
+  const Responses run = Drive(server.get());
+  EXPECT_EQ(run.stats.rerank_distilled, run.stats.requests);
+  EXPECT_EQ(run.stats.rerank_full, 0u);
+}
+
+TEST_F(CascadeTest, BandZeroHeadOneKeepsRetrievalTop1) {
+  // band 0 + cap 1: the "head" is just the retrieval winner, so the full
+  // tier can only rescore it — top-1 id must equal retrieval's top-1.
+  model::CascadeModel exit_all;
+  serve::ServerOptions exit_opts = BaseOptions();
+  exit_opts.use_cascade = true;
+  exit_opts.cascade = &exit_all;
+  exit_opts.margin_tau = 0.0f;
+  auto exit_server = MakeServer(exit_opts);
+  const Responses retrieval_order = Drive(exit_server.get());
+
+  model::CascadeModel narrow;
+  narrow.config.band_epsilon = 0.0f;
+  narrow.config.rerank_head_k = 1;
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &narrow;
+  auto server = MakeServer(on);
+  const Responses run = Drive(server.get());
+  ASSERT_EQ(run.ids.size(), retrieval_order.ids.size());
+  for (std::size_t i = 0; i < run.ids.size(); ++i) {
+    ASSERT_FALSE(run.ids[i].empty());
+    EXPECT_EQ(run.ids[i][0], retrieval_order.ids[i][0]) << "request " << i;
+  }
+}
+
+TEST_F(CascadeTest, SerialAndPooledClientsAreByteIdentical) {
+  const model::CascadeModel cascade = Calibrate();
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &cascade;
+  auto serial_server = MakeServer(on);
+  const Responses serial = Drive(serial_server.get(), 1);
+  auto pooled_server = MakeServer(on);
+  const Responses pooled = Drive(pooled_server.get(), 4);
+  EXPECT_TRUE(serial == pooled);
+  EXPECT_EQ(serial.stats.rerank_exited, pooled.stats.rerank_exited);
+  EXPECT_EQ(serial.stats.rerank_distilled, pooled.stats.rerank_distilled);
+  EXPECT_EQ(serial.stats.rerank_full, pooled.stats.rerank_full);
+}
+
+// ---- Artifact persistence --------------------------------------------------
+
+TEST_F(CascadeTest, ArtifactRoundTripsThroughFile) {
+  train::CascadeCalibrationReport report;
+  const model::CascadeModel saved = Calibrate(&report);
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(saved.SaveToFile(path).ok());
+  model::CascadeModel loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.config.margin_tau, saved.config.margin_tau);
+  EXPECT_EQ(loaded.config.distill_tau, saved.config.distill_tau);
+  EXPECT_EQ(loaded.config.band_epsilon, saved.config.band_epsilon);
+  EXPECT_EQ(loaded.config.rerank_head_k, saved.config.rerank_head_k);
+  EXPECT_EQ(loaded.weights, saved.weights);
+  EXPECT_EQ(loaded.bias, saved.bias);
+  EXPECT_EQ(loaded.has_scorer(), saved.has_scorer());
+}
+
+TEST_F(CascadeTest, EverySingleBitFlipInArtifactIsRejected) {
+  model::CascadeModel model;
+  model.config.margin_tau = 0.25f;
+  model.config.rerank_head_k = 4;
+  model.weights.assign(model::CascadeFeatureCount(8), 0.125f);
+  model.bias = -0.5f;
+  const std::string path = TempPath("bitflip.ckpt");
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (char bit : {char(0x01), char(0x80)}) {
+      std::vector<char> flipped = bytes;
+      flipped[byte] ^= bit;
+      const std::string bad = TempPath("bitflip_bad.ckpt");
+      std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+      out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+      out.close();
+      model::CascadeModel reloaded;
+      EXPECT_FALSE(reloaded.LoadFromFile(bad).ok())
+          << "bit flip at byte " << byte << " went undetected";
+    }
+  }
+}
+
+TEST_F(CascadeTest, LoadRejectsMalformedPayloads) {
+  auto save_payload = [&](const model::CascadeModel& m) {
+    util::BinaryWriter writer;
+    m.Save(&writer);
+    return writer.TakeBuffer();
+  };
+  auto load = [&](std::vector<std::uint8_t> bytes) {
+    util::BinaryReader reader(std::move(bytes));
+    model::CascadeModel m;
+    return m.Load(&reader);
+  };
+
+  model::CascadeModel good;
+  good.config.rerank_head_k = 4;
+  EXPECT_TRUE(load(save_payload(good)).ok());
+
+  {  // Wrong leading tag.
+    auto bytes = save_payload(good);
+    bytes[0] ^= 0xFF;
+    EXPECT_FALSE(load(std::move(bytes)).ok());
+  }
+  {  // head_k = 0 is never servable.
+    model::CascadeModel bad = good;
+    bad.config.rerank_head_k = 0;
+    EXPECT_FALSE(load(save_payload(bad)).ok());
+  }
+  {  // NaN threshold.
+    model::CascadeModel bad = good;
+    bad.config.margin_tau = std::nanf("");
+    EXPECT_FALSE(load(save_payload(bad)).ok());
+  }
+  {  // Negative threshold.
+    model::CascadeModel bad = good;
+    bad.config.band_epsilon = -1.0f;
+    EXPECT_FALSE(load(save_payload(bad)).ok());
+  }
+  {  // Weight count below any tower dimension's feature count.
+    model::CascadeModel bad = good;
+    bad.weights.assign(model::kNumCascadeBaseFeatures +
+                           model::kNumOverlapFeatures + 1,
+                       0.0f);
+    EXPECT_FALSE(load(save_payload(bad)).ok());
+  }
+  {  // Odd dimension remainder matches no tower (needs 2*d floats).
+    model::CascadeModel bad = good;
+    bad.weights.assign(model::CascadeFeatureCount(8) + 1, 0.0f);
+    EXPECT_FALSE(load(save_payload(bad)).ok());
+  }
+  {  // NaN scorer weight.
+    model::CascadeModel bad = good;
+    bad.weights.assign(model::CascadeFeatureCount(8), 0.0f);
+    bad.weights[5] = std::nanf("");
+    EXPECT_FALSE(load(save_payload(bad)).ok());
+  }
+}
+
+// ---- Bundle integration ----------------------------------------------------
+
+TEST_F(CascadeTest, BundleShipsAndServesTheCascadeArtifact) {
+  const auto& ids = corpus_->kb.EntitiesInDomain("serving");
+  retrieval::DenseIndex index;
+  std::vector<kb::Entity> entities;
+  for (kb::EntityId id : ids) entities.push_back(corpus_->kb.entity(id));
+  model::EncodeScratch scratch;
+  tensor::Tensor emb;
+  bi_->EncodeEntitiesInference(entities, &scratch, &emb);
+  ASSERT_TRUE(index.Build(std::move(emb), ids).ok());
+  model::CrossEntityCache cache;
+  cross_->PrecomputeEntities(entities, &cache);
+
+  // The shipped policy exits everything — recognizably different from both
+  // the default config (never exits) and ServerOptions::cascade below.
+  model::CascadeModel shipped;
+  shipped.config.margin_tau = 0.0f;
+  const std::string dir = TempPath("bundle");
+  store::ModelBundleParts parts;
+  parts.model_version = 7;
+  parts.domain = "serving";
+  parts.bi = bi_.get();
+  parts.cross = cross_.get();
+  parts.kb = &corpus_->kb;
+  parts.index = &index;
+  parts.rerank_cache = &cache;
+  parts.cascade = &shipped;
+  ASSERT_TRUE(store::SaveModelBundle(parts, dir).ok());
+
+  auto loaded = store::LoadModelBundle(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded->has_cascade);
+  EXPECT_EQ(loaded->cascade.config.margin_tau, 0.0f);
+
+  // FromBundle + use_cascade adopts the bundle artifact even when
+  // ServerOptions::cascade points at a never-exit policy: the bundle wins.
+  model::CascadeModel never_exit;
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &never_exit;
+  auto server = serve::LinkingServer::FromBundle(dir, on);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  const Responses run = Drive(server->get());
+  EXPECT_EQ(run.stats.rerank_exited, run.stats.requests);
+}
+
+TEST_F(CascadeTest, ServerRejectsScorerDistilledForAnotherDimension) {
+  // Cross dim is 32 here; a scorer sized for dim 16 passes the artifact's
+  // own shape validation but must be refused at epoch build.
+  model::CascadeModel wrong;
+  wrong.weights.assign(model::CascadeFeatureCount(16), 0.0f);
+  serve::ServerOptions on = BaseOptions();
+  on.use_cascade = true;
+  on.cascade = &wrong;
+  auto server = serve::LinkingServer::Create(bi_.get(), cross_.get(),
+                                             &corpus_->kb, "serving", on);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace metablink

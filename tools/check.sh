@@ -23,6 +23,11 @@
 #                   IVF gates (probe-all == exhaustive bit-for-bit, sharded
 #                   == serial, deterministic rebuild, R@64 >= 0.98 at the
 #                   default nprobe)
+#   9. cascade    — bench_serving --cascade-smoke from stage 1's tree: the
+#                   adaptive rerank cascade contracts (cascade-off and
+#                   forced-full-head byte identity, tier counters summing
+#                   to requests, serial == pooled determinism, accuracy
+#                   delta <= 0.2 pts)
 #
 # Fails fast: the first failing stage stops the run; a summary table of
 # per-stage PASS/FAIL/SKIP status is always printed on exit.
@@ -34,7 +39,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval)
+STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval cascade)
 declare -A STATUS
 for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
 
@@ -120,6 +125,17 @@ echo "== stage: retrieval =="
 ./build-check-default/bench/bench_retrieval --smoke /tmp/metablink-smoke-retrieval.json \
   || fail retrieval
 STATUS[retrieval]="PASS"
+
+echo
+echo "== stage: cascade =="
+# Reduced cascade run: calibrates the three-tier rerank cascade on the
+# smoke world and checks its serving contracts — cascade-off and
+# forced-full-head byte identity vs full rerank, tier counters summing to
+# requests, serial == pooled determinism, and the accuracy-delta gate
+# (exit 1 on any violation), without the full-scale benchmark timings.
+./build-check-default/bench/bench_serving --cascade-smoke /tmp/metablink-smoke-cascade.json \
+  || fail cascade
+STATUS[cascade]="PASS"
 
 echo
 echo "check.sh: all stages passed (or were skipped)"
