@@ -14,13 +14,26 @@
 // Always-on correctness gates (exit 1 on violation, any scale):
 //   - probe-all (nprobe == num_clusters) is bit-identical to the
 //     exhaustive fp32 scan — ids, scores, and tie order;
-//   - the sharded probe is bit-identical to the serial probe;
+//   - the same holds for the PQ scan with a full re-score pool;
+//   - the sharded probe is bit-identical to the serial probe, and the
+//     KB-sharded index (ShardedIndex, 4 shards) is bit-identical to the
+//     single index at equal nprobe, serial and pool-parallel;
+//   - the int8 entry point dispatches to the exact scan below the
+//     crossover size (bit-identical results there);
 //   - rebuilding with the same seed yields byte-identical serialization;
-//   - R@64 >= 0.98 at the default nprobe on the gate scale.
-// Full mode additionally gates the headline number: at 100k entities the
+//   - R@64 >= 0.98 at the default nprobe on the gate scale;
+//   - PQ marginal bytes/entity (the M code bytes) <= 25% of int8's d+4.
+// Full mode additionally gates the headline numbers: at 100k entities the
 // clustered probe, at its cheapest nprobe meeting R@64 >= 0.98 (the
 // operating point a deployment would pick from the sweep), must be >= 5x
-// faster than the exhaustive int8 scan.
+// faster than the exhaustive int8 scan; at 100k+ the PQ index total
+// bytes/entity (codes + codebooks) must be <= 25% of int8's, with an
+// operating point at R@64 >= 0.98 and, at 1M, ms/query <= 1.5x the
+// non-PQ clustered operating point.
+//
+// --pq-smoke runs the same reduced scale as --smoke; it exists as a
+// separately named CI stage so a PQ gate failure is attributed to the PQ
+// subsystem rather than the base retrieval stage.
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +45,7 @@
 
 #include "retrieval/clustered_index.h"
 #include "retrieval/dense_index.h"
+#include "retrieval/sharded_index.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -120,6 +134,23 @@ struct ScaleResult {
   SweepPoint operating;
   double operating_speedup_vs_int8 = 0.0;
   std::vector<SweepPoint> sweep;
+  // PQ (product-quantized residual) form of the same clustered index.
+  double pq_build_ms = 0.0;
+  double pq_ms_per_query = 0.0;  // at the default nprobe
+  double pq_recall_at_default = 0.0;
+  SweepPoint pq_operating;
+  std::vector<SweepPoint> pq_sweep;
+  // Scan-storage cost per entity. fp32/int8 are marginal (per-row) costs;
+  // pq_bytes is the TOTAL amortized cost including the shared codebooks
+  // (which dominate at small n and vanish at 1M), pq_code_bytes the
+  // marginal M code bytes.
+  double fp32_bytes_per_entity = 0.0;
+  double int8_bytes_per_entity = 0.0;
+  double pq_bytes_per_entity = 0.0;
+  double pq_code_bytes_per_entity = 0.0;
+  // KB-sharded (ShardedIndex) probe over the PQ form, pool-parallel.
+  std::size_t sharded_index_shards = 0;
+  double sharded_index_ms_per_query = 0.0;
 };
 
 bool g_ok = true;
@@ -177,6 +208,28 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
   r.num_clusters = clustered.num_clusters();
   r.default_nprobe = clustered.default_nprobe();
 
+  // ---- PQ build + storage cost ----------------------------------------------
+  retrieval::ClusteredIndex pq;
+  {
+    retrieval::ClusteredIndexOptions popts;
+    popts.use_pq = true;
+    const auto t0 = Clock::now();
+    if (!pq.Build(base, popts, pool).ok()) {
+      g_ok = false;
+      return r;
+    }
+    r.pq_build_ms = MsSince(t0);
+  }
+  r.fp32_bytes_per_entity = static_cast<double>(d * sizeof(float));
+  r.int8_bytes_per_entity =
+      static_cast<double>(base.QuantizedMemoryBytes()) /
+      static_cast<double>(n);
+  r.pq_bytes_per_entity =
+      static_cast<double>(pq.PqMemoryBytes()) / static_cast<double>(n);
+  r.pq_code_bytes_per_entity = static_cast<double>(pq.pq_m());
+  Gate(r.pq_code_bytes_per_entity <= 0.25 * r.int8_bytes_per_entity,
+       "pq marginal bytes/entity <= 25% of int8");
+
   if (check_determinism) {
     retrieval::ClusteredIndex again;
     if (!again.Build(base, {}, nullptr).ok()) g_ok = false;
@@ -185,6 +238,15 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
     again.Save(&wb);
     Gate(wa.buffer() == wb.buffer(),
          "same-seed rebuild is byte-identical (serial vs pooled)");
+    retrieval::ClusteredIndexOptions popts;
+    popts.use_pq = true;
+    retrieval::ClusteredIndex pq_again;
+    if (!pq_again.Build(base, popts, nullptr).ok()) g_ok = false;
+    util::BinaryWriter pa, pb;
+    pq.Save(&pa);
+    pq_again.Save(&pb);
+    Gate(pa.buffer() == pb.buffer(),
+         "same-seed PQ rebuild is byte-identical (serial vs pooled)");
   }
 
   // ---- Exhaustive baselines + ground truth ---------------------------------
@@ -211,6 +273,17 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
     r.int8_ms_per_query =
         MsSince(t0) / static_cast<double>(rounds * num_queries);
   }
+  if (n < retrieval::DenseIndex::kQuantizedDispatchMinRows) {
+    // Below the crossover the int8 entry point must have answered with the
+    // exact scan (the small-KB regression fix): bit-identical to fp32.
+    bool same = true;
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      base.TopKQuantizedInto(queries.row_data(i), k, int8_pool,
+                             &flat_scratch, &hits);
+      if (!SameHits(truth[i], hits)) same = false;
+    }
+    Gate(same, "int8 entry dispatches to exact below crossover");
+  }
 
   // ---- Probe-all parity gate ------------------------------------------------
   retrieval::ClusteredScratch cscratch;
@@ -228,15 +301,34 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
     if (!fp32_base.Build(std::move(rows2), Iota(n2)).ok()) parity = false;
     retrieval::ClusteredIndex exact;
     if (parity && !exact.Build(fp32_base, {}, pool).ok()) parity = false;
+    // PQ with a full re-score pool: every probed row survives to the exact
+    // fp32 re-score, so probe-all must match the exhaustive scan too.
+    bool pq_parity = parity;
+    retrieval::ClusteredIndex pq_exact;
+    {
+      retrieval::ClusteredIndexOptions popts;
+      popts.use_pq = true;
+      popts.rescore_pool = n2;
+      if (pq_parity && !pq_exact.Build(fp32_base, popts, pool).ok())
+        pq_parity = false;
+    }
     retrieval::TopKScratch ref_scratch;
     std::vector<retrieval::ScoredEntity> ref;
-    for (std::size_t i = 0; i < num_queries && parity; ++i) {
+    for (std::size_t i = 0; i < num_queries && (parity || pq_parity); ++i) {
       fp32_base.TopKInto(queries.row_data(i), k, &ref_scratch, &ref);
-      exact.TopKInto(queries.row_data(i), k, exact.num_clusters(), &cscratch,
-                     &hits);
-      parity = SameHits(ref, hits);
+      if (parity) {
+        exact.TopKInto(queries.row_data(i), k, exact.num_clusters(),
+                       &cscratch, &hits);
+        parity = SameHits(ref, hits);
+      }
+      if (pq_parity) {
+        pq_exact.TopKInto(queries.row_data(i), k, pq_exact.num_clusters(),
+                          &cscratch, &hits);
+        pq_parity = SameHits(ref, hits);
+      }
     }
     Gate(parity, "probe-all == exhaustive fp32 (ids, scores, ties)");
+    Gate(pq_parity, "pq probe-all full-pool == exhaustive fp32");
   }
 
   // ---- nprobe sweep ---------------------------------------------------------
@@ -275,6 +367,33 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
     r.operating_speedup_vs_int8 =
         r.int8_ms_per_query / r.operating.ms_per_query;
 
+  // ---- PQ nprobe sweep ------------------------------------------------------
+  for (std::size_t np : nprobes) {
+    if (np == 0 || np > r.num_clusters) continue;
+    SweepPoint pt;
+    pt.nprobe = np;
+    double overlap = 0.0;
+    const auto t0 = Clock::now();
+    for (std::size_t it = 0; it < rounds; ++it)
+      for (std::size_t i = 0; i < num_queries; ++i) {
+        pq.TopKInto(queries.row_data(i), k, np, &cscratch, &hits);
+        if (it == 0) overlap += Overlap(truth[i], hits);
+      }
+    pt.ms_per_query = MsSince(t0) / static_cast<double>(rounds * num_queries);
+    pt.recall = overlap / static_cast<double>(num_queries);
+    r.pq_sweep.push_back(pt);
+    if (np == r.default_nprobe) {
+      r.pq_ms_per_query = pt.ms_per_query;
+      r.pq_recall_at_default = pt.recall;
+    }
+  }
+  for (const SweepPoint& pt : r.pq_sweep)
+    if (pt.recall >= 0.98 &&
+        (r.pq_operating.nprobe == 0 ||
+         pt.ms_per_query < r.pq_operating.ms_per_query))
+      r.pq_operating = pt;
+  Gate(r.pq_operating.nprobe != 0, "pq reaches R@64 >= 0.98 at some nprobe");
+
   // ---- Sharded probe: bit-for-bit + timing ----------------------------------
   {
     retrieval::ShardedScratch sh;
@@ -294,6 +413,38 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
         MsSince(t0) / static_cast<double>(rounds * num_queries);
   }
 
+  // ---- KB-sharded index: bit-for-bit + timing -------------------------------
+  {
+    r.sharded_index_shards = 4;
+    retrieval::ShardedIndex shards_fp32, shards_pq;
+    retrieval::ShardedIndexScratch sh;
+    bool same = true;
+    if (!shards_fp32.Build(&clustered, r.sharded_index_shards).ok() ||
+        !shards_pq.Build(&pq, r.sharded_index_shards).ok()) {
+      same = false;
+    }
+    std::vector<retrieval::ScoredEntity> serial;
+    for (std::size_t i = 0; i < num_queries && same; ++i) {
+      clustered.TopKInto(queries.row_data(i), k, 0, &cscratch, &serial);
+      shards_fp32.TopKInto(queries.row_data(i), k, 0, &sh, &hits);
+      same = same && SameHits(serial, hits);
+      shards_fp32.TopKParallel(queries.row_data(i), k, 0, pool, &sh, &hits);
+      same = same && SameHits(serial, hits);
+      pq.TopKInto(queries.row_data(i), k, 0, &cscratch, &serial);
+      shards_pq.TopKInto(queries.row_data(i), k, 0, &sh, &hits);
+      same = same && SameHits(serial, hits);
+      shards_pq.TopKParallel(queries.row_data(i), k, 0, pool, &sh, &hits);
+      same = same && SameHits(serial, hits);
+    }
+    Gate(same, "KB-sharded (4) == single index bit-for-bit");
+    const auto t0 = Clock::now();
+    for (std::size_t it = 0; it < rounds; ++it)
+      for (std::size_t i = 0; i < num_queries; ++i)
+        shards_pq.TopKParallel(queries.row_data(i), k, 0, pool, &sh, &hits);
+    r.sharded_index_ms_per_query =
+        MsSince(t0) / static_cast<double>(rounds * num_queries);
+  }
+
   std::printf(
       "[%7zu x %zu]  build %8.1f ms  kc %4zu  nprobe %3zu  |  "
       "fp32 %8.3f  int8 %8.3f  clustered %8.3f  sharded %8.3f ms/q  |  "
@@ -305,8 +456,25 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
               "speedup_vs_int8 %.2fx\n",
               r.operating.nprobe, k, r.operating.recall,
               r.operating.ms_per_query, r.operating_speedup_vs_int8);
+  std::printf(
+      "    pq: build %8.1f ms  M %zu  |  %8.3f ms/q  R@%zu %.4f @ default  "
+      "|  op nprobe %zu  R %.4f  %8.3f ms/q  |  kb-sharded(4) %8.3f ms/q\n",
+      r.pq_build_ms, pq.pq_m(), r.pq_ms_per_query, k, r.pq_recall_at_default,
+      r.pq_operating.nprobe, r.pq_operating.recall,
+      r.pq_operating.ms_per_query, r.sharded_index_ms_per_query);
+  std::printf(
+      "    bytes/entity: fp32 %.1f  int8 %.1f  pq_total %.2f  "
+      "pq_marginal %.1f  (pq %.1f%% of int8)\n",
+      r.fp32_bytes_per_entity, r.int8_bytes_per_entity, r.pq_bytes_per_entity,
+      r.pq_code_bytes_per_entity,
+      r.int8_bytes_per_entity > 0.0
+          ? 100.0 * r.pq_bytes_per_entity / r.int8_bytes_per_entity
+          : 0.0);
   for (const SweepPoint& pt : r.sweep)
     std::printf("    nprobe %4zu  R@%zu %.4f  %8.3f ms/q\n", pt.nprobe, k,
+                pt.recall, pt.ms_per_query);
+  for (const SweepPoint& pt : r.pq_sweep)
+    std::printf("    pq nprobe %4zu  R@%zu %.4f  %8.3f ms/q\n", pt.nprobe, k,
                 pt.recall, pt.ms_per_query);
   return r;
 }
@@ -315,10 +483,14 @@ ScaleResult RunScale(std::size_t n, std::size_t d, std::size_t num_queries,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool pq_smoke = false;
   std::string out_path = "BENCH_retrieval.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--pq-smoke") == 0) {
+      smoke = true;
+      pq_smoke = true;
     } else {
       out_path = argv[i];
     }
@@ -333,7 +505,8 @@ int main(int argc, char** argv) {
 
   std::printf("=== Clustered retrieval benchmark (dim %zu, %zu queries%s) "
               "===\n\n",
-              dim, num_queries, smoke ? ", smoke" : "");
+              dim, num_queries,
+              pq_smoke ? ", pq-smoke" : (smoke ? ", smoke" : ""));
 
   std::vector<ScaleResult> results;
   for (std::size_t n : scales) {
@@ -359,6 +532,19 @@ int main(int argc, char** argv) {
   if (gate_scale != nullptr)
     Gate(gate_scale->operating_speedup_vs_int8 >= 5.0,
          "clustered >= 5x exhaustive int8 @ 100k (R@64 >= 0.98)");
+  // PQ memory gate: at 100k+ the shared codebooks amortize away and the
+  // TOTAL PQ bytes/entity must undercut int8 by 4x. The latency guardrail
+  // binds at the memory-bound 1M scale.
+  for (const ScaleResult& r : results) {
+    if (r.entities >= 100000)
+      Gate(r.pq_bytes_per_entity <= 0.25 * r.int8_bytes_per_entity,
+           "pq total bytes/entity <= 25% of int8 @ 100k+");
+    if (r.entities >= 1000000)
+      Gate(r.pq_operating.nprobe != 0 && r.operating.nprobe != 0 &&
+               r.pq_operating.ms_per_query <=
+                   1.5 * r.operating.ms_per_query,
+           "pq operating ms/q <= 1.5x clustered operating @ 1M");
+  }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -396,7 +582,30 @@ int main(int argc, char** argv) {
                    "\"ms_per_query\": %.4f}",
                    i == 0 ? "" : ", ", r.sweep[i].nprobe, r.sweep[i].recall,
                    r.sweep[i].ms_per_query);
-    std::fprintf(f, "]}%s\n", s + 1 == results.size() ? "" : ",");
+    std::fprintf(f,
+                 "],\n     \"bytes_per_entity\": {\"fp32\": %.1f, "
+                 "\"int8\": %.1f, \"pq_total\": %.3f, "
+                 "\"pq_marginal\": %.1f},\n"
+                 "     \"pq\": {\"build_ms\": %.1f, "
+                 "\"ms_per_query\": %.4f, \"recall_at_64\": %.4f,\n"
+                 "            \"operating_point\": {\"nprobe\": %zu, "
+                 "\"recall\": %.4f, \"ms_per_query\": %.4f},\n"
+                 "            \"recall_vs_nprobe\": [",
+                 r.fp32_bytes_per_entity, r.int8_bytes_per_entity,
+                 r.pq_bytes_per_entity, r.pq_code_bytes_per_entity,
+                 r.pq_build_ms, r.pq_ms_per_query, r.pq_recall_at_default,
+                 r.pq_operating.nprobe, r.pq_operating.recall,
+                 r.pq_operating.ms_per_query);
+    for (std::size_t i = 0; i < r.pq_sweep.size(); ++i)
+      std::fprintf(f, "%s{\"nprobe\": %zu, \"recall\": %.4f, "
+                   "\"ms_per_query\": %.4f}",
+                   i == 0 ? "" : ", ", r.pq_sweep[i].nprobe,
+                   r.pq_sweep[i].recall, r.pq_sweep[i].ms_per_query);
+    std::fprintf(f,
+                 "]},\n     \"sharded_index\": {\"num_shards\": %zu, "
+                 "\"ms_per_query\": %.4f}}%s\n",
+                 r.sharded_index_shards, r.sharded_index_ms_per_query,
+                 s + 1 == results.size() ? "" : ",");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"gates_ok\": %s\n", g_ok ? "true" : "false");

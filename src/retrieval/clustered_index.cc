@@ -18,7 +18,14 @@ namespace metablink::retrieval {
 namespace {
 
 constexpr std::uint32_t kClusteredTag = 0x46564943u;  // "CIVF"
-constexpr std::uint32_t kClusteredVersion = 1;
+// Version 1: coarse clustering only. Version 2 appends the "PQIV" product-
+// quantization block; Save emits version 1 when no PQ form is present so
+// PQ-free artifacts stay byte-identical to pre-PQ builds.
+constexpr std::uint32_t kClusteredVersion = 2;
+constexpr std::uint32_t kPqTag = 0x56495150u;  // "PQIV"
+// PQ subspace tables always span 256 slots (8-bit codes); a smaller
+// trained pq_kc just leaves the tail slots zero and unreferenced.
+constexpr std::size_t kPqSlots = 256;
 
 // Points scored per assignment tile. 32 rows of d=128 floats (16 KiB) stay
 // cache-resident while the centroid panel (up to ~sqrt(1M) rows) streams.
@@ -113,6 +120,76 @@ void RecomputeHalfNorms(const tensor::Tensor& centroids,
   }
 }
 
+// Deterministic seeded Lloyd's k-means over a dense [n, d] panel: centroids
+// seeded from kc distinct sample rows (sorted so the layout depends only on
+// which rows were drawn), then `iters` rounds of parallel deterministic
+// assignment + serial point-order double accumulation + worst-fit empty-
+// cluster repair. Byte-identical with or without a pool. Shared by the
+// coarse clustering and the per-subspace PQ residual codebooks; `rng`
+// advances by exactly one SampleIndices draw.
+void TrainKmeans(const float* data, std::size_t n, std::size_t d,
+                 std::size_t kc, std::size_t iters, util::Rng* rng,
+                 util::ThreadPool* pool, tensor::Tensor* centroids,
+                 std::vector<float>* half_norms) {
+  *centroids = tensor::Tensor(kc, d);
+  {
+    std::vector<std::size_t> seeds = rng->SampleIndices(n, kc);
+    std::sort(seeds.begin(), seeds.end());
+    for (std::size_t c = 0; c < kc; ++c) {
+      std::memcpy(centroids->row_data(c), data + seeds[c] * d,
+                  d * sizeof(float));
+    }
+  }
+  RecomputeHalfNorms(*centroids, half_norms);
+
+  std::vector<std::uint32_t> assign;
+  std::vector<float> best_score;
+  std::vector<std::size_t> counts(kc, 0);
+  std::vector<double> sums(kc * d, 0.0);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    AssignPoints(data, n, *centroids, *half_norms, pool, &assign, &best_score);
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint32_t c = assign[p];
+      ++counts[c];
+      const float* row = data + p * d;
+      double* acc = sums.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) acc[j] += row[j];
+    }
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (counts[c] == 0) continue;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      float* row = centroids->row_data(c);
+      const double* acc = sums.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        row[j] = static_cast<float>(acc[j] * inv);
+      }
+    }
+    // Empty-cluster repair: each empty centroid (ascending id) is re-seeded
+    // from the worst-fit point (lowest assigned score, ties to the lowest
+    // index) still living in a cluster with more than one member. Fully
+    // deterministic, and every cluster ends non-empty while the data has at
+    // least kc distinct rows.
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (counts[c] != 0) continue;
+      std::size_t worst = n;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (counts[assign[p]] < 2) continue;
+        if (worst == n || best_score[p] < best_score[worst]) worst = p;
+      }
+      if (worst == n) break;  // nothing left to donate
+      --counts[assign[worst]];
+      assign[worst] = static_cast<std::uint32_t>(c);
+      counts[c] = 1;
+      std::memcpy(centroids->row_data(c), data + worst * d,
+                  d * sizeof(float));
+      best_score[worst] = std::numeric_limits<float>::max();  // donated
+    }
+    RecomputeHalfNorms(*centroids, half_norms);
+  }
+}
+
 }  // namespace
 
 util::Status ClusteredIndex::Build(const DenseIndex& base,
@@ -121,6 +198,16 @@ util::Status ClusteredIndex::Build(const DenseIndex& base,
   if (!base.built()) {
     return util::Status::InvalidArgument(
         "cannot cluster an unbuilt DenseIndex");
+  }
+  if (options.use_pq) {
+    if (options.pq_nbits != 8) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "only 8-bit PQ codes are supported, got pq_nbits=%zu",
+          options.pq_nbits));
+    }
+    if (options.pq_m == 0) {
+      return util::Status::InvalidArgument("pq_m must be at least 1");
+    }
   }
   const std::size_t n = base.size();
   const std::size_t d = base.dim();
@@ -152,73 +239,14 @@ util::Status ClusteredIndex::Build(const DenseIndex& base,
     train_n = sample.size();
   }
 
-  // Init: centroids seeded from kc distinct training rows (sorted so the
-  // layout depends only on which rows were drawn, not the draw order).
-  centroids_ = tensor::Tensor(kc, d);
-  {
-    std::vector<std::size_t> seeds = rng.SampleIndices(train_n, kc);
-    std::sort(seeds.begin(), seeds.end());
-    for (std::size_t c = 0; c < kc; ++c) {
-      std::memcpy(centroids_.row_data(c), train_data + seeds[c] * d,
-                  d * sizeof(float));
-    }
-  }
-  RecomputeHalfNorms(centroids_, &half_cnorm_);
-
-  // Lloyd iterations: parallel deterministic assignment, then a serial
-  // point-order accumulation so the updated centroids are bit-identical
-  // with or without a pool.
-  std::vector<std::uint32_t> assign;
-  std::vector<float> best_score;
-  std::vector<std::size_t> counts(kc, 0);
-  std::vector<double> sums(kc * d, 0.0);
-  for (std::size_t iter = 0; iter < options.train_iterations; ++iter) {
-    AssignPoints(train_data, train_n, centroids_, half_cnorm_, pool, &assign,
-                 &best_score);
-    std::fill(counts.begin(), counts.end(), 0);
-    std::fill(sums.begin(), sums.end(), 0.0);
-    for (std::size_t p = 0; p < train_n; ++p) {
-      const std::uint32_t c = assign[p];
-      ++counts[c];
-      const float* row = train_data + p * d;
-      double* acc = sums.data() + c * d;
-      for (std::size_t j = 0; j < d; ++j) acc[j] += row[j];
-    }
-    for (std::size_t c = 0; c < kc; ++c) {
-      if (counts[c] == 0) continue;
-      const double inv = 1.0 / static_cast<double>(counts[c]);
-      float* row = centroids_.row_data(c);
-      const double* acc = sums.data() + c * d;
-      for (std::size_t j = 0; j < d; ++j) {
-        row[j] = static_cast<float>(acc[j] * inv);
-      }
-    }
-    // Empty-cluster repair: each empty centroid (ascending id) is re-seeded
-    // from the worst-fit point (lowest assigned score, ties to the lowest
-    // index) still living in a cluster with more than one member. Fully
-    // deterministic, and every cluster ends non-empty while training data
-    // has at least kc distinct rows.
-    for (std::size_t c = 0; c < kc; ++c) {
-      if (counts[c] != 0) continue;
-      std::size_t worst = train_n;
-      for (std::size_t p = 0; p < train_n; ++p) {
-        if (counts[assign[p]] < 2) continue;
-        if (worst == train_n || best_score[p] < best_score[worst]) worst = p;
-      }
-      if (worst == train_n) break;  // nothing left to donate
-      --counts[assign[worst]];
-      assign[worst] = static_cast<std::uint32_t>(c);
-      counts[c] = 1;
-      std::memcpy(centroids_.row_data(c), train_data + worst * d,
-                  d * sizeof(float));
-      best_score[worst] = std::numeric_limits<float>::max();  // donated
-    }
-    RecomputeHalfNorms(centroids_, &half_cnorm_);
-  }
+  TrainKmeans(train_data, train_n, d, kc, options.train_iterations, &rng,
+              pool, &centroids_, &half_cnorm_);
 
   // Final assignment over every row, then CSR inverted lists with each
   // list's entries in ascending row position — the canonical layout the
   // determinism test hashes.
+  std::vector<std::uint32_t> assign;
+  std::vector<float> best_score;
   AssignPoints(base.EmbeddingAt(0), n, centroids_, half_cnorm_, pool, &assign,
                &best_score);
   list_offsets_.assign(kc + 1, 0);
@@ -241,7 +269,151 @@ util::Status ClusteredIndex::Build(const DenseIndex& base,
   }
   default_nprobe_ = std::clamp<std::size_t>(default_nprobe_, 1, kc);
   base_ = &base;
+
+  // Any previous PQ form belongs to the old clustering; drop it before
+  // (optionally) training a fresh one against the new residuals.
+  pq_m_ = 0;
+  pq_kc_ = 0;
+  pq_sub_offsets_.clear();
+  pq_codebooks_.clear();
+  pq_codes_.clear();
+  if (options.use_pq) {
+    METABLINK_RETURN_IF_ERROR(BuildPq(base, options, pool, assign));
+  }
   return util::Status::OK();
+}
+
+util::Status ClusteredIndex::BuildPq(const DenseIndex& base,
+                                     const ClusteredIndexOptions& options,
+                                     util::ThreadPool* pool,
+                                     const std::vector<std::uint32_t>& assign) {
+  const std::size_t n = base.size();
+  const std::size_t d = base.dim();
+  const std::size_t m_sub = std::min(options.pq_m, d);
+
+  std::vector<std::uint32_t> sub_offsets(m_sub + 1);
+  for (std::size_t m = 0; m <= m_sub; ++m) {
+    sub_offsets[m] = static_cast<std::uint32_t>(m * d / m_sub);
+  }
+
+  // Residual training sample: seeded like the coarse subsample but from an
+  // independent stream (seed XOR), so adding PQ never perturbs the coarse
+  // clustering's draws and a PQ rebuild reproduces the same lists.
+  util::Rng rng(options.seed ^ 0x5149505155ULL);
+  const std::size_t limit =
+      std::min(n, std::max<std::size_t>(options.max_train_points, kPqSlots));
+  std::vector<std::size_t> sample;
+  if (limit < n) {
+    sample = rng.SampleIndices(n, limit);
+    std::sort(sample.begin(), sample.end());
+  } else {
+    sample.resize(n);
+    std::iota(sample.begin(), sample.end(), std::size_t{0});
+  }
+  const std::size_t train_n = sample.size();
+  tensor::Tensor residuals(train_n, d);
+  for (std::size_t i = 0; i < train_n; ++i) {
+    const float* x = base.EmbeddingAt(sample[i]);
+    const float* c = centroids_.row_data(assign[sample[i]]);
+    float* r = residuals.row_data(i);
+    for (std::size_t j = 0; j < d; ++j) r[j] = x[j] - c[j];
+  }
+
+  const std::size_t kpq = std::min<std::size_t>(kPqSlots, train_n);
+  std::vector<float> codebooks(kPqSlots * d, 0.0f);
+  std::vector<std::int8_t> codes(n * m_sub, 0);
+
+  // Entry → cluster map so the encoder can reconstruct each inverted-list
+  // entry's residual without re-running assignment.
+  std::vector<std::uint32_t> entry_cluster(n);
+  for (std::size_t c = 0; c + 1 < list_offsets_.size(); ++c) {
+    for (std::uint32_t idx = list_offsets_[c]; idx < list_offsets_[c + 1];
+         ++idx) {
+      entry_cluster[idx] = static_cast<std::uint32_t>(c);
+    }
+  }
+
+  std::vector<float> sub_half_norms;
+  for (std::size_t m = 0; m < m_sub; ++m) {
+    const std::size_t lo = sub_offsets[m];
+    const std::size_t dsub = sub_offsets[m + 1] - lo;
+    tensor::Tensor sub_train(train_n, dsub);
+    for (std::size_t i = 0; i < train_n; ++i) {
+      std::memcpy(sub_train.row_data(i), residuals.row_data(i) + lo,
+                  dsub * sizeof(float));
+    }
+    tensor::Tensor cb;
+    TrainKmeans(sub_train.row_data(0), train_n, dsub, kpq,
+                options.train_iterations, &rng, pool, &cb, &sub_half_norms);
+    std::memcpy(codebooks.data() + kPqSlots * lo, cb.row_data(0),
+                kpq * dsub * sizeof(float));
+
+    // Encode every entry's subspace residual: nearest codeword under the
+    // same adjusted-inner-product argmax as AssignPoints (ties to the
+    // lowest code). Per-entry results are independent, so pool chunking
+    // over entry blocks is deterministic.
+    const std::size_t nblocks = (n + kAssignBlock - 1) / kAssignBlock;
+    auto run_block = [&](std::size_t b, std::vector<float>* sub,
+                         std::vector<float>* tile) {
+      const std::size_t i0 = b * kAssignBlock;
+      const std::size_t bn = std::min(kAssignBlock, n - i0);
+      for (std::size_t i = 0; i < bn; ++i) {
+        const float* x = base.EmbeddingAt(list_entries_[i0 + i]) + lo;
+        const float* c = centroids_.row_data(entry_cluster[i0 + i]) + lo;
+        float* r = sub->data() + i * dsub;
+        for (std::size_t j = 0; j < dsub; ++j) r[j] = x[j] - c[j];
+      }
+      internal::ScoreTileF32(sub->data(), cb.row_data(0), tile->data(), bn,
+                             dsub, kpq);
+      for (std::size_t i = 0; i < bn; ++i) {
+        const float* trow = tile->data() + i * kpq;
+        std::size_t best_j = 0;
+        float best_s = trow[0] - sub_half_norms[0];
+        for (std::size_t j = 1; j < kpq; ++j) {
+          const float s = trow[j] - sub_half_norms[j];
+          if (s > best_s) {  // strict: ties keep the lowest code
+            best_s = s;
+            best_j = j;
+          }
+        }
+        codes[(i0 + i) * m_sub + m] = static_cast<std::int8_t>(best_j);
+      }
+    };
+    if (pool != nullptr && nblocks > 1) {
+      pool->ParallelForChunks(
+          nblocks, 0, [&](std::size_t, std::size_t b0, std::size_t b1) {
+            std::vector<float> sub(kAssignBlock * dsub);
+            std::vector<float> tile(kAssignBlock * kpq);
+            for (std::size_t b = b0; b < b1; ++b) run_block(b, &sub, &tile);
+          });
+    } else {
+      std::vector<float> sub(kAssignBlock * dsub);
+      std::vector<float> tile(kAssignBlock * kpq);
+      for (std::size_t b = 0; b < nblocks; ++b) run_block(b, &sub, &tile);
+    }
+  }
+
+  pq_m_ = m_sub;
+  pq_kc_ = kpq;
+  pq_sub_offsets_ = std::move(sub_offsets);
+  pq_codebooks_ = std::move(codebooks);
+  pq_codes_ = std::move(codes);
+  return util::Status::OK();
+}
+
+std::size_t ClusteredIndex::PqMemoryBytes() const {
+  return pq_codes_.size() * sizeof(std::int8_t) +
+         pq_codebooks_.size() * sizeof(float) +
+         pq_sub_offsets_.size() * sizeof(std::uint32_t);
+}
+
+void ClusteredIndex::DropPq() {
+  pq_m_ = 0;
+  pq_kc_ = 0;
+  pq_sub_offsets_.clear();
+  pq_codebooks_.clear();
+  pq_codes_.clear();
+  options_.use_pq = false;
 }
 
 std::size_t ClusteredIndex::ResolveNprobe(std::size_t nprobe) const {
@@ -251,7 +423,11 @@ std::size_t ClusteredIndex::ResolveNprobe(std::size_t nprobe) const {
 
 std::size_t ClusteredIndex::ResolvePoolCap(std::size_t k) const {
   std::size_t cap = options_.rescore_pool;
-  if (cap == 0) cap = std::max(2 * k, k + 64);
+  if (cap == 0) {
+    // PQ distortion is coarser than int8's, so its default pool carries a
+    // wider safety margin before the exact re-score.
+    cap = pq_built() ? std::max(4 * k, k + 192) : std::max(2 * k, k + 64);
+  }
   return std::clamp(cap, k, size());
 }
 
@@ -278,36 +454,101 @@ void ClusteredIndex::SelectProbe(const std::vector<float>& scores,
   probe->resize(nprobe);
 }
 
-void ClusteredIndex::ScanProbeSlice(
-    const float* query, const std::vector<std::uint32_t>& probe,
-    std::size_t p_begin, std::size_t p_end, std::size_t k,
-    std::size_t pool_cap, float qscale,
-    const std::vector<std::int8_t>& qquery, TopKScratch* scratch) const {
+void ClusteredIndex::Offer(const ScoredEntity& cand, std::size_t cap,
+                           std::vector<ScoredEntity>* heap) {
+  OfferCandidate(cand, cap, heap);
+}
+
+void ClusteredIndex::PreparePqLut(const float* query,
+                                  std::vector<float>* lut) const {
+  lut->resize(pq_m_ * kPqSlots);
+  for (std::size_t m = 0; m < pq_m_; ++m) {
+    const std::size_t lo = pq_sub_offsets_[m];
+    const std::size_t dsub = pq_sub_offsets_[m + 1] - lo;
+    // One 1×256 tile per subspace: lut[m][j] = q_sub(m)·codebook[m][j].
+    // Untrained tail slots (j >= pq_kc_) are zero rows, so their table
+    // entries are 0 and no stored code ever references them.
+    internal::ScoreTileF32(query + lo, pq_codebooks_.data() + kPqSlots * lo,
+                           lut->data() + m * kPqSlots, 1, dsub, kPqSlots);
+  }
+}
+
+void ClusteredIndex::PrepareScan(const float* query, std::size_t k,
+                                 ClusteredScratch* scratch,
+                                 ScanContext* ctx) const {
+  ctx->query = query;
+  ctx->k = k;
+  ctx->pool_cap = ResolvePoolCap(k);
+  if (pq_built()) {
+    PreparePqLut(query, &scratch->lut);
+    ctx->lut = scratch->lut.data();
+    ctx->cluster_scores = &scratch->cluster_scores;
+  } else if (base_->quantized()) {
+    ctx->qscale = base_->QuantizeQueryInto(query, &scratch->topk.qquery);
+    ctx->qquery = scratch->topk.qquery.data();
+  }
+}
+
+ClusteredIndex::ListView ClusteredIndex::OwnView() const {
+  return ListView{list_offsets_.data(), list_entries_.data(),
+                  pq_codes_.empty() ? nullptr : pq_codes_.data()};
+}
+
+void ClusteredIndex::ScanLists(const ScanContext& ctx,
+                               const std::vector<std::uint32_t>& probe,
+                               std::size_t p_begin, std::size_t p_end,
+                               const ListView& view,
+                               TopKScratch* scratch) const {
   const std::size_t d = base_->dim();
-  const bool use_int8 = base_->quantized();
-  const std::int8_t* qq = qquery.data();
+  if (ctx.lut != nullptr) {
+    // PQ ADC scan keyed by row POSITION: per-list base term q·c (recovered
+    // from the adjusted centroid score) plus pq_m table lookups per entry,
+    // strip-scored by the dispatched kernel and offered to the bounded
+    // pool, which RescoreAndSelect re-scores in fp32. One kernel per
+    // process, so serial, pooled, and sharded scans build identical pools.
+    for (std::size_t p = p_begin; p < p_end; ++p) {
+      const std::uint32_t c = probe[p];
+      const std::uint32_t lo = view.offsets[c];
+      const std::uint32_t hi = view.offsets[c + 1];
+      if (lo == hi) continue;
+      const float base_term = (*ctx.cluster_scores)[c] + half_cnorm_[c];
+      const std::size_t count = hi - lo;
+      if (scratch->scores.size() < count) scratch->scores.resize(count);
+      internal::PqAdcScores(
+          ctx.lut,
+          reinterpret_cast<const std::uint8_t*>(view.codes) +
+              std::size_t{lo} * pq_m_,
+          count, pq_m_, base_term, scratch->scores.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        OfferCandidate({view.entries[lo + i], scratch->scores[i]},
+                       ctx.pool_cap, &scratch->pool);
+      }
+    }
+    return;
+  }
   for (std::size_t p = p_begin; p < p_end; ++p) {
     const std::uint32_t c = probe[p];
-    const std::uint32_t lo = list_offsets_[c];
-    const std::uint32_t hi = list_offsets_[c + 1];
+    const std::uint32_t lo = view.offsets[c];
+    const std::uint32_t hi = view.offsets[c + 1];
     for (std::uint32_t idx = lo; idx < hi; ++idx) {
-      const std::uint32_t pos = list_entries_[idx];
-      if (use_int8) {
+      const std::uint32_t pos = view.entries[idx];
+      if (ctx.qquery != nullptr) {
         // Integer scan keyed by row POSITION: approximate scores feed the
         // bounded candidate pool, which RescoreAndSelect re-scores in fp32.
         // DotInt8 dispatches to AVX2 when available and is exact either
         // way, so the pool is bit-identical to the scalar scan.
         const std::int8_t* row = base_->QuantizedRowAt(pos);
-        const std::int32_t acc = internal::DotInt8(qq, row, d);
-        const float score = static_cast<float>(acc) * qscale *
+        const std::int32_t acc = internal::DotInt8(ctx.qquery, row, d);
+        const float score = static_cast<float>(acc) * ctx.qscale *
                             base_->QuantizedScaleAt(pos);
-        OfferCandidate({pos, score}, pool_cap, &scratch->pool);
+        OfferCandidate({pos, score}, ctx.pool_cap, &scratch->pool);
       } else {
         // fp32 scan keyed by entity ID with exact Dot scores: selection is
         // final here, which is what makes probe-all identical to the base
         // index's exhaustive TopKInto.
-        const float score = tensor::Dot(query, base_->EmbeddingAt(pos), d);
-        OfferCandidate({base_->ids()[pos], score}, k, &scratch->heap);
+        const float score =
+            tensor::Dot(ctx.query, base_->EmbeddingAt(pos), d);
+        OfferCandidate({base_->ids()[pos], score}, ctx.k, &scratch->heap);
       }
     }
   }
@@ -316,7 +557,7 @@ void ClusteredIndex::ScanProbeSlice(
 void ClusteredIndex::RescoreAndSelect(const float* query, std::size_t k,
                                       TopKScratch* scratch,
                                       std::vector<ScoredEntity>* out) const {
-  if (base_->quantized()) {
+  if (pq_built() || base_->quantized()) {
     const std::size_t d = base_->dim();
     scratch->heap.clear();
     for (const ScoredEntity& cand : scratch->pool) {
@@ -340,15 +581,12 @@ void ClusteredIndex::TopKInto(const float* query, std::size_t k,
   nprobe = ResolveNprobe(nprobe);
   ScoreClusters(query, &scratch->cluster_scores);
   SelectProbe(scratch->cluster_scores, nprobe, &scratch->probe);
-  float qscale = 0.0f;
-  if (base_->quantized()) {
-    qscale = base_->QuantizeQueryInto(query, &scratch->topk.qquery);
-  }
+  ScanContext ctx;
+  PrepareScan(query, k, scratch, &ctx);
   scratch->topk.heap.clear();
   scratch->topk.pool.clear();
-  ScanProbeSlice(query, scratch->probe, 0, scratch->probe.size(), k,
-                 ResolvePoolCap(k), qscale, scratch->topk.qquery,
-                 &scratch->topk);
+  ScanLists(ctx, scratch->probe, 0, scratch->probe.size(), OwnView(),
+            &scratch->topk);
   RescoreAndSelect(query, k, &scratch->topk, out);
 }
 
@@ -378,11 +616,10 @@ void ClusteredIndex::TopKSharded(const float* query, std::size_t k,
   ClusteredScratch& main = scratch->main;
   ScoreClusters(query, &main.cluster_scores);
   SelectProbe(main.cluster_scores, nprobe, &main.probe);
-  float qscale = 0.0f;
-  if (base_->quantized()) {
-    qscale = base_->QuantizeQueryInto(query, &main.topk.qquery);
-  }
-  const std::size_t pool_cap = ResolvePoolCap(k);
+  ScanContext ctx;
+  PrepareScan(query, k, &main, &ctx);
+  const std::size_t pool_cap = ctx.pool_cap;
+  const ListView view = OwnView();
 
   // Entry-balanced contiguous shards over the probe list: walk the probed
   // lists accumulating entry counts and cut at each target boundary, so a
@@ -409,8 +646,7 @@ void ClusteredIndex::TopKSharded(const float* query, std::size_t k,
   if (num_shards < 2) {
     main.topk.heap.clear();
     main.topk.pool.clear();
-    ScanProbeSlice(query, main.probe, 0, nprobe, k, pool_cap, qscale,
-                   main.topk.qquery, &main.topk);
+    ScanLists(ctx, main.probe, 0, nprobe, view, &main.topk);
     RescoreAndSelect(query, k, &main.topk, out);
     return;
   }
@@ -422,8 +658,7 @@ void ClusteredIndex::TopKSharded(const float* query, std::size_t k,
         TopKScratch& s = scratch->shards[shard];
         s.heap.clear();
         s.pool.clear();
-        ScanProbeSlice(query, main.probe, bounds[shard], bounds[shard + 1],
-                       k, pool_cap, qscale, main.topk.qquery, &s);
+        ScanLists(ctx, main.probe, bounds[shard], bounds[shard + 1], view, &s);
       });
 
   // K-way merge by re-offering each shard's survivors under the same total
@@ -447,7 +682,9 @@ void ClusteredIndex::TopKSharded(const float* query, std::size_t k,
 
 void ClusteredIndex::Save(util::BinaryWriter* writer) const {
   writer->WriteU32(kClusteredTag);
-  writer->WriteU32(kClusteredVersion);
+  // PQ-free payloads keep writing version 1 so their bytes stay identical
+  // to pre-PQ artifacts (and legible to pre-PQ readers).
+  writer->WriteU32(pq_built() ? kClusteredVersion : 1u);
   writer->WriteU64(size());
   writer->WriteU64(dim());
   writer->WriteU64(num_clusters());
@@ -458,6 +695,15 @@ void ClusteredIndex::Save(util::BinaryWriter* writer) const {
   writer->WriteFloatVector(half_cnorm_);
   writer->WriteU32Vector(list_offsets_);
   writer->WriteU32Vector(list_entries_);
+  if (pq_built()) {
+    writer->WriteU32(kPqTag);
+    writer->WriteU64(pq_m_);
+    writer->WriteU64(8);  // pq_nbits
+    writer->WriteU64(pq_kc_);
+    writer->WriteU32Vector(pq_sub_offsets_);
+    writer->WriteFloatVector(pq_codebooks_);
+    writer->WriteByteVector(pq_codes_);
+  }
 }
 
 util::Status ClusteredIndex::Load(util::BinaryReader* reader) {
@@ -508,6 +754,62 @@ util::Status ClusteredIndex::Load(util::BinaryReader* reader) {
     }
     seen[pos] = true;
   }
+
+  // Version 2 carries a mandatory PQ block; validate it fully before
+  // committing any state so a corrupt payload leaves the index untouched.
+  std::uint64_t pq_m = 0, pq_kc = 0;
+  std::vector<std::uint32_t> pq_sub_offsets;
+  std::vector<float> pq_codebooks;
+  std::vector<std::int8_t> pq_codes;
+  if (version >= 2) {
+    std::uint32_t pq_tag = 0;
+    std::uint64_t pq_nbits = 0;
+    METABLINK_RETURN_IF_ERROR(reader->ReadU32(&pq_tag));
+    if (pq_tag != kPqTag) {
+      return util::Status::InvalidArgument(
+          "corrupt ClusteredIndex snapshot: missing PQIV block");
+    }
+    METABLINK_RETURN_IF_ERROR(reader->ReadU64(&pq_m));
+    METABLINK_RETURN_IF_ERROR(reader->ReadU64(&pq_nbits));
+    METABLINK_RETURN_IF_ERROR(reader->ReadU64(&pq_kc));
+    METABLINK_RETURN_IF_ERROR(reader->ReadU32Vector(&pq_sub_offsets));
+    METABLINK_RETURN_IF_ERROR(reader->ReadFloatVector(&pq_codebooks));
+    METABLINK_RETURN_IF_ERROR(reader->ReadByteVector(&pq_codes));
+    if (pq_nbits != 8) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "unsupported PQ code width: %llu bits",
+          static_cast<unsigned long long>(pq_nbits)));
+    }
+    if (pq_m == 0 || pq_m > d || pq_kc == 0 || pq_kc > kPqSlots ||
+        pq_sub_offsets.size() != pq_m + 1 ||
+        pq_codebooks.size() != kPqSlots * d || pq_codes.size() != n * pq_m) {
+      return util::Status::InvalidArgument(
+          "corrupt ClusteredIndex snapshot: inconsistent PQ shapes");
+    }
+    if (pq_sub_offsets.front() != 0 || pq_sub_offsets.back() != d) {
+      return util::Status::InvalidArgument(
+          "corrupt ClusteredIndex snapshot: bad PQ subspace bounds");
+    }
+    for (std::size_t m = 0; m < pq_m; ++m) {
+      if (pq_sub_offsets[m] >= pq_sub_offsets[m + 1]) {
+        return util::Status::InvalidArgument(
+            "corrupt ClusteredIndex snapshot: non-increasing PQ subspaces");
+      }
+    }
+    for (const float v : pq_codebooks) {
+      if (!std::isfinite(v)) {
+        return util::Status::InvalidArgument(
+            "corrupt ClusteredIndex snapshot: non-finite PQ codebook");
+      }
+    }
+    for (const std::int8_t code : pq_codes) {
+      if (static_cast<std::uint8_t>(code) >= pq_kc) {
+        return util::Status::InvalidArgument(
+            "corrupt ClusteredIndex snapshot: PQ code out of range");
+      }
+    }
+  }
+
   centroids_ = tensor::Tensor(static_cast<std::size_t>(kc),
                               static_cast<std::size_t>(d),
                               std::move(centroids));
@@ -520,6 +822,13 @@ util::Status ClusteredIndex::Load(util::BinaryReader* reader) {
   options_.default_nprobe = static_cast<std::size_t>(nprobe);
   options_.rescore_pool = static_cast<std::size_t>(rescore);
   options_.seed = seed;
+  pq_m_ = static_cast<std::size_t>(pq_m);
+  pq_kc_ = static_cast<std::size_t>(pq_kc);
+  pq_sub_offsets_ = std::move(pq_sub_offsets);
+  pq_codebooks_ = std::move(pq_codebooks);
+  pq_codes_ = std::move(pq_codes);
+  options_.use_pq = pq_built();
+  if (pq_built()) options_.pq_m = pq_m_;
   base_ = nullptr;  // detached until Attach()
   return util::Status::OK();
 }

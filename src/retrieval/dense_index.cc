@@ -302,6 +302,16 @@ void DenseIndex::TopKQuantizedInto(const float* query, std::size_t k,
                                    TopKScratch* scratch,
                                    std::vector<ScoredEntity>* out) const {
   METABLINK_CHECK(quantized()) << "call Quantize() before TopKQuantizedInto";
+  // Small KBs lose on the int8 path: the quantize/pool/re-score fixed cost
+  // dwarfs the bandwidth it saves when every fp32 row already fits in
+  // cache. Below the threshold the fp32 scan is both faster and exact, so
+  // dispatch there — output is identical because the re-scored quantized
+  // result equals the exact scan whenever the true top-k survives the
+  // pool, and the bench pins the crossover.
+  if (ids_.size() < kQuantizedDispatchMinRows) {
+    TopKInto(query, k, scratch, out);
+    return;
+  }
   out->clear();
   const std::size_t total = ids_.size();
   const std::size_t d = embeddings_.cols();

@@ -109,6 +109,19 @@ class DenseIndex {
   void Quantize();
   bool quantized() const { return !q_rows_.empty(); }
 
+  /// Below this row count TopKQuantizedInto dispatches to the exact fp32
+  /// scan: small KBs fit in cache, so the int8 path's quantize + pool +
+  /// re-score overhead loses to the straight scan (the 4k-entity operating
+  /// point regressed ~1.5× before this gate; bench_retrieval pins it).
+  static constexpr std::size_t kQuantizedDispatchMinRows = 65536;
+
+  /// Heap bytes of the int8 form (rows + per-row scales); 0 until
+  /// Quantize(). The bench's bytes/entity column divides this by size().
+  std::size_t QuantizedMemoryBytes() const {
+    return q_rows_.size() * sizeof(std::int8_t) +
+           q_scales_.size() * sizeof(float);
+  }
+
   /// Top-k via the int8 scan: every entity is scored with an integer dot
   /// product, the best `pool_size` survivors (clamped to [k, size()]) are
   /// exactly re-scored in fp32, and the final top-k is selected from those

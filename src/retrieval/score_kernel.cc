@@ -208,6 +208,55 @@ __attribute__((target("avx2"))) std::int32_t DotInt8Avx2(
 
 #endif  // METABLINK_SCORE_KERNEL_X86
 
+// Portable ADC fallback: one table lookup per (entry, subspace). The adds
+// run left-to-right over subspaces — a fixed order, so repeated scans of
+// the same codes are bit-identical.
+void PqAdcScoresScalar(const float* lut, const std::uint8_t* codes,
+                       std::size_t count, std::size_t m_sub, float base,
+                       float* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t* c = codes + i * m_sub;
+    float s = base;
+    for (std::size_t m = 0; m < m_sub; ++m) {
+      s += lut[m * 256 + c[m]];
+    }
+    out[i] = s;
+  }
+}
+
+#ifdef METABLINK_SCORE_KERNEL_X86
+
+// Eight subspaces per step: load 8 code bytes, widen to int32 lanes, offset
+// each lane into its own 256-entry table, and gather the 8 partial scores
+// in one vpgatherdps. The vector accumulator folds with HorizontalSum, so
+// the summation order differs from the scalar loop (selection-grade, per
+// the header contract) but is fixed for the process.
+__attribute__((target("avx2,fma"))) void PqAdcScoresAvx2(
+    const float* lut, const std::uint8_t* codes, std::size_t count,
+    std::size_t m_sub, float base, float* out) {
+  const std::size_t m8 = m_sub & ~std::size_t{7};
+  const __m256i lane_off =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t* c = codes + i * m_sub;
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t m = 0;
+    for (; m < m8; m += 8) {
+      const __m128i c8 = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(c + m));
+      const __m256i idx = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_cvtepu8_epi32(c8), lane_off),
+          _mm256_set1_epi32(static_cast<int>(m * 256)));
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(lut, idx, 4));
+    }
+    float s = base + HorizontalSum(acc);
+    for (; m < m_sub; ++m) s += lut[m * 256 + c[m]];
+    out[i] = s;
+  }
+}
+
+#endif  // METABLINK_SCORE_KERNEL_X86
+
 using TileFn = void (*)(const float*, const float*, float*, std::size_t,
                         std::size_t, std::size_t);
 using DotInt8Fn = std::int32_t (*)(const std::int8_t*, const std::int8_t*,
@@ -237,6 +286,20 @@ DotInt8Fn ResolveDotInt8Fn() {
 
 const DotInt8Fn g_dot_int8_fn = ResolveDotInt8Fn();
 
+using PqAdcFn = void (*)(const float*, const std::uint8_t*, std::size_t,
+                         std::size_t, float, float*);
+
+PqAdcFn ResolvePqAdcFn() {
+#ifdef METABLINK_SCORE_KERNEL_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &PqAdcScoresAvx2;
+  }
+#endif
+  return &PqAdcScoresScalar;
+}
+
+const PqAdcFn g_pq_adc_fn = ResolvePqAdcFn();
+
 }  // namespace
 
 void ScoreTileF32(const float* queries, const float* entities, float* tile,
@@ -253,5 +316,14 @@ std::int32_t DotInt8(const std::int8_t* a, const std::int8_t* b,
 }
 
 bool DotInt8UsesSimd() { return g_dot_int8_fn != &DotInt8Scalar; }
+
+void PqAdcScores(const float* lut, const std::uint8_t* codes,
+                 std::size_t count, std::size_t m_sub, float base,
+                 float* out) {
+  if (count == 0) return;
+  g_pq_adc_fn(lut, codes, count, m_sub, base, out);
+}
+
+bool PqAdcUsesSimd() { return g_pq_adc_fn != &PqAdcScoresScalar; }
 
 }  // namespace metablink::retrieval::internal

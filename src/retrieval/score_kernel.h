@@ -38,6 +38,26 @@ std::int32_t DotInt8(const std::int8_t* a, const std::int8_t* b,
 /// on the portable scalar fallback.
 bool DotInt8UsesSimd();
 
+/// ADC (asymmetric distance computation) strip for a product-quantized
+/// inverted list: out[i] = base + sum_m lut[m * 256 + codes[i * m_sub + m]],
+/// where `lut` holds the per-query partial inner products of each subspace
+/// codebook entry and `base` is the query·centroid term shared by every
+/// entry of the list. Codes are 8-bit (256 entries per subspace table).
+///
+/// Selection-grade numerics, same contract as ScoreTileF32: the AVX2 path
+/// (table gathers + one vector accumulator) sums in a different order than
+/// the scalar loop, so the two may differ in final-ulp rounding — callers
+/// re-score survivors with tensor::Dot before surfacing scores. One
+/// implementation is dispatched per process, so serial, pooled, and
+/// sharded scans over the same codes produce bit-identical strips.
+void PqAdcScores(const float* lut, const std::uint8_t* codes,
+                 std::size_t count, std::size_t m_sub, float base,
+                 float* out);
+
+/// True when the runtime-dispatched AVX2 gather ADC kernel is active; false
+/// on the portable scalar fallback.
+bool PqAdcUsesSimd();
+
 }  // namespace metablink::retrieval::internal
 
 #endif  // METABLINK_RETRIEVAL_SCORE_KERNEL_H_

@@ -1,0 +1,94 @@
+#ifndef METABLINK_RETRIEVAL_SHARDED_INDEX_H_
+#define METABLINK_RETRIEVAL_SHARDED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "retrieval/clustered_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metablink::retrieval {
+
+/// Reusable buffers for ShardedIndex probes: one merge/selection scratch
+/// plus one per-shard selection scratch.
+struct ShardedIndexScratch {
+  ClusteredScratch main;
+  std::vector<TopKScratch> shards;
+};
+
+/// A sharded view over one ClusteredIndex: the entity rows are split into
+/// `num_shards` contiguous row-position slices, and each shard owns the
+/// restriction of every inverted list to its slice (global row positions,
+/// plus the matching PQ code slices when the index carries a PQ form). A
+/// probe scans each shard's restricted lists with its own selection
+/// scratch — pool-parallel across shards or serially — and re-offers the
+/// per-shard survivors under the index's strict (score desc, id asc) total
+/// order.
+///
+/// Bit-identity invariant: each full-list entry appears in exactly one
+/// shard, every entry's score depends only on (entry, query context) —
+/// never on which shard presented it — and the bounded selection retains
+/// the top-`cap` candidates regardless of offer order. Any global top-cap
+/// candidate therefore survives its own shard's top-cap, so the re-offer
+/// merge reconstructs exactly the serial single-index pool and the final
+/// exact re-score returns bit-identical hits to ClusteredIndex::TopKInto
+/// at equal nprobe. This is what lets LinkingServer shard a KB for
+/// multi-socket scans without perturbing a single response byte.
+///
+/// The view borrows its ClusteredIndex, which must outlive it, stay
+/// attached to its base, and not be rebuilt. Probe methods are const and
+/// share no mutable state; concurrent queries need caller-owned scratch.
+class ShardedIndex {
+ public:
+  ShardedIndex() = default;
+
+  /// Builds the per-shard list restrictions. `num_shards` is clamped to
+  /// [1, full->size()]; shard s owns row positions
+  /// [s·N/num_shards, (s+1)·N/num_shards). Pre: full->built().
+  util::Status Build(const ClusteredIndex* full, std::size_t num_shards);
+
+  bool built() const { return !shards_.empty(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  const ClusteredIndex* full() const { return full_; }
+  /// Row-position slice bounds, [num_shards + 1] ascending.
+  const std::vector<std::uint32_t>& row_bounds() const { return row_bounds_; }
+
+  /// Serial sharded probe: scans every shard on the calling thread, then
+  /// merges. Bit-identical to TopKParallel and to the underlying index's
+  /// TopKInto. Appends to `*out` after clearing it.
+  void TopKInto(const float* query, std::size_t k, std::size_t nprobe,
+                ShardedIndexScratch* scratch,
+                std::vector<ScoredEntity>* out) const;
+
+  /// Sharded probe with one pool task per shard (falls back to the serial
+  /// scan when `pool` is null or single-threaded). Same output, bit for
+  /// bit.
+  void TopKParallel(const float* query, std::size_t k, std::size_t nprobe,
+                    util::ThreadPool* pool, ShardedIndexScratch* scratch,
+                    std::vector<ScoredEntity>* out) const;
+
+ private:
+  /// One shard's restriction of the full inverted lists: CSR offsets over
+  /// the same clusters, entries holding global row positions, and the
+  /// entries' PQ codes (empty when the index has no PQ form).
+  struct Shard {
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> entries;
+    std::vector<std::int8_t> codes;
+  };
+
+  /// Shared prologue + merge around the per-shard scans.
+  void TopKImpl(const float* query, std::size_t k, std::size_t nprobe,
+                util::ThreadPool* pool, ShardedIndexScratch* scratch,
+                std::vector<ScoredEntity>* out) const;
+
+  const ClusteredIndex* full_ = nullptr;
+  std::vector<std::uint32_t> row_bounds_;  // [num_shards + 1]
+  std::vector<Shard> shards_;
+};
+
+}  // namespace metablink::retrieval
+
+#endif  // METABLINK_RETRIEVAL_SHARDED_INDEX_H_

@@ -122,10 +122,14 @@ LinkingServer::BuildEpoch(const model::BiEncoder* bi,
   }
   METABLINK_RETURN_IF_ERROR(epoch->index.Build(std::move(all), ids));
   if (options.use_quantized) epoch->index.Quantize();
-  if (options.use_clustered) {
-    METABLINK_RETURN_IF_ERROR(
-        epoch->clustered.Build(epoch->index, retrieval::ClusteredIndexOptions{}));
+  if (options.use_clustered || options.use_pq) {
+    retrieval::ClusteredIndexOptions copts;
+    copts.use_pq = options.use_pq;
+    copts.pq_m = options.pq_m;
+    copts.pq_nbits = options.pq_nbits;
+    METABLINK_RETURN_IF_ERROR(epoch->clustered.Build(epoch->index, copts));
   }
+  METABLINK_RETURN_IF_ERROR(ResolveSharding(options, 0, epoch.get()));
   // Entity-side rerank work, hoisted out of the serving loop.
   cross->PrecomputeEntities(entities, &epoch->cross_cache);
   epoch->entity_pos.reserve(ids.size());
@@ -160,6 +164,16 @@ util::Status LinkingServer::ResolveCascade(const ServerOptions& options,
   return util::Status::OK();
 }
 
+util::Status LinkingServer::ResolveSharding(const ServerOptions& options,
+                                            std::uint32_t manifest_shards,
+                                            ModelEpoch* epoch) {
+  if (!epoch->clustered.built()) return util::Status::OK();
+  const std::size_t shards =
+      options.num_shards != 0 ? options.num_shards : manifest_shards;
+  if (shards < 2) return util::Status::OK();
+  return epoch->sharded.Build(&epoch->clustered, shards);
+}
+
 util::Result<std::shared_ptr<LinkingServer::ModelEpoch>>
 LinkingServer::BuildEpochFromBundle(store::ModelBundle bundle,
                                     const ServerOptions& options) {
@@ -178,17 +192,29 @@ LinkingServer::BuildEpochFromBundle(store::ModelBundle bundle,
   if (options.use_quantized && !epoch->index.quantized()) {
     epoch->index.Quantize();
   }
-  if (options.use_clustered) {
-    if (b.has_clustered) {
+  if (options.use_clustered || options.use_pq) {
+    if (b.has_clustered && (b.clustered.pq_built() || !options.use_pq)) {
       // Adopt the shipped clustering. Moving the bundle into this epoch
       // relocated the index it was attached to, so re-bind it here.
       epoch->clustered = std::move(b.clustered);
       METABLINK_RETURN_IF_ERROR(epoch->clustered.Attach(&epoch->index));
+      if (!options.use_pq && epoch->clustered.pq_built()) {
+        // PQ-free serving over a PQ-bearing artifact: drop the codes so
+        // the probe path is byte-identical to a build that never had them.
+        epoch->clustered.DropPq();
+      }
     } else {
-      METABLINK_RETURN_IF_ERROR(epoch->clustered.Build(
-          epoch->index, retrieval::ClusteredIndexOptions{}));
+      // No clustered artifact — or one without the PQ form the options
+      // demand — so train it here.
+      retrieval::ClusteredIndexOptions copts;
+      copts.use_pq = options.use_pq;
+      copts.pq_m = options.pq_m;
+      copts.pq_nbits = options.pq_nbits;
+      METABLINK_RETURN_IF_ERROR(epoch->clustered.Build(epoch->index, copts));
     }
   }
+  METABLINK_RETURN_IF_ERROR(
+      ResolveSharding(options, b.num_shards, epoch.get()));
   const std::vector<kb::EntityId>& ids = epoch->index.ids();
   if (b.has_rerank_cache) {
     epoch->cross_cache = std::move(b.rerank_cache);
@@ -340,22 +366,37 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
     topk_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
   }
   if (!miss_idx_.empty()) {
-    const bool clustered = options_.use_clustered && epoch->clustered.built();
+    const bool clustered = (options_.use_clustered || options_.use_pq) &&
+                           epoch->clustered.built();
+    const bool sharded = clustered && epoch->sharded.built();
     const bool quantized = options_.use_quantized && epoch->index.quantized();
     if (clustered &&
         clustered_scratch_.size() <
             std::max<std::size_t>(1, pool_.num_threads())) {
       clustered_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
     }
+    if (sharded &&
+        sharded_scratch_.size() < std::max<std::size_t>(1, pool_.num_threads())) {
+      sharded_scratch_.resize(std::max<std::size_t>(1, pool_.num_threads()));
+    }
     pool_.ParallelForChunks(
         miss_idx_.size(), 0,
-        [this, &epoch, k, clustered, quantized](
+        [this, &epoch, k, clustered, sharded, quantized](
             std::size_t chunk, std::size_t begin, std::size_t end) {
           for (std::size_t j = begin; j < end; ++j) {
             const std::size_t i = miss_idx_[j];
-            if (clustered) {
-              // Probe path: the clustered index internally runs the int8
-              // scan when the base is quantized, so it subsumes the
+            if (sharded) {
+              // Sharded probe, bit-identical to the single-index path.
+              // TopKParallel's nested ParallelForChunks degrades to a
+              // serial shard loop inside this batch-parallel region, so
+              // shards run concurrently exactly when the batch doesn't.
+              epoch->sharded.TopKParallel(queries_.row_data(i), k,
+                                          options_.nprobe, &pool_,
+                                          &sharded_scratch_[chunk],
+                                          &batch_hits_[i]);
+            } else if (clustered) {
+              // Probe path: the clustered index internally runs the PQ or
+              // int8 scan when those forms exist, so it subsumes the
               // use_quantized branch.
               epoch->clustered.TopKInto(queries_.row_data(i), k,
                                         options_.nprobe,
@@ -596,6 +637,9 @@ ServerStats LinkingServer::Stats() const {
     std::lock_guard<std::mutex> lock(epoch_mu_);
     out.model_version = epoch_->version;
     out.swaps = swaps_;
+    out.num_shards =
+        epoch_->sharded.built() ? epoch_->sharded.num_shards() : 1;
+    out.pq_active = epoch_->clustered.built() && epoch_->clustered.pq_built();
   }
   return out;
 }

@@ -21,6 +21,7 @@
 #include "model/cross_encoder.h"
 #include "retrieval/clustered_index.h"
 #include "retrieval/dense_index.h"
+#include "retrieval/sharded_index.h"
 #include "store/model_bundle.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -48,6 +49,26 @@ struct ServerOptions {
   /// Cells probed per query when serving clustered; 0 uses the index's
   /// own default (ceil(sqrt(num_clusters))).
   std::size_t nprobe = 0;
+  /// Serve the clustered probe from the product-quantized residual form:
+  /// per-subspace codebooks trained on (row − centroid) residuals, pq_m
+  /// bytes of codes per entity scanned via per-query ADC tables, exact
+  /// fp32 re-score of the survivors. Implies the clustered probe path. A
+  /// bundle whose clustered artifact ships PQ is adopted as-is; one
+  /// without it gets the PQ form trained at epoch build. With use_pq off,
+  /// a shipped PQ form is dropped so serving stays byte-identical to a
+  /// PQ-free build.
+  bool use_pq = false;
+  /// PQ subspaces per entity (see ClusteredIndexOptions::pq_m).
+  std::size_t pq_m = 8;
+  /// Bits per PQ code; only 8 is supported.
+  std::size_t pq_nbits = 8;
+  /// KB shards behind the probe path: the entity rows split into this many
+  /// contiguous slices, probed in parallel per query and merged
+  /// bit-identically to the single-index probe. 0 adopts the bundle
+  /// manifest's declared count (unsharded for raw components and legacy
+  /// bundles); 1 forces the single-index path. Requires the clustered
+  /// probe (ignored otherwise).
+  std::size_t num_shards = 0;
   /// LRU entries for repeated (mention, context) requests; 0 disables.
   /// Each entry holds the mention embedding and its retrieved top-k (both
   /// pure functions of the request text and the fixed index), so a hit
@@ -100,6 +121,12 @@ struct ServerStats {
   std::uint64_t rerank_exited = 0;
   std::uint64_t rerank_distilled = 0;
   std::uint64_t rerank_full = 0;
+  /// Retrieval layout of the currently published epoch: shard count of the
+  /// probe path (1 = single index) and whether the clustered scan reads PQ
+  /// codes. Sharding and PQ never change responses — these exist so
+  /// operators (and tests) can tell which path answered.
+  std::uint64_t num_shards = 1;
+  bool pq_active = false;
 };
 
 /// Production-style serving front-end for a fitted MetaBLINK system.
@@ -215,9 +242,13 @@ class LinkingServer {
     const kb::KnowledgeBase* kb = nullptr;
     retrieval::DenseIndex index;
     /// Clustered probe structure over `index`; built() only when the epoch
-    /// serves with use_clustered. Always attached to this epoch's `index`
-    /// member (re-attached after any bundle move).
+    /// serves with use_clustered/use_pq. Always attached to this epoch's
+    /// `index` member (re-attached after any bundle move).
     retrieval::ClusteredIndex clustered;
+    /// Sharded view over `clustered`; built() only when the epoch serves
+    /// with two or more KB shards. Borrows this epoch's `clustered`
+    /// member, whose address is stable once the epoch is constructed.
+    retrieval::ShardedIndex sharded;
     model::CrossEntityCache cross_cache;
     /// Resolved cascade policy for this epoch: the bundle's "cascade"
     /// artifact when present, else ServerOptions::cascade, else the
@@ -252,6 +283,13 @@ class LinkingServer {
   static util::Status ResolveCascade(const ServerOptions& options,
                              const model::CascadeModel* artifact,
                              ModelEpoch* epoch);
+
+  /// Builds the epoch's sharded view when the effective shard count
+  /// (options.num_shards, falling back to the bundle manifest's
+  /// `manifest_shards`) is ≥ 2 and the epoch serves the clustered probe.
+  static util::Status ResolveSharding(const ServerOptions& options,
+                                      std::uint32_t manifest_shards,
+                                      ModelEpoch* epoch);
 
   void SchedulerLoop();
   void ServeBatch(std::vector<Request>* batch);
@@ -294,6 +332,7 @@ class LinkingServer {
   std::vector<std::vector<retrieval::ScoredEntity>> batch_hits_;
   std::vector<retrieval::TopKScratch> topk_scratch_;
   std::vector<retrieval::ClusteredScratch> clustered_scratch_;
+  std::vector<retrieval::ShardedIndexScratch> sharded_scratch_;
   struct RerankScratch {
     model::CrossScoreScratch cross;
     std::vector<float> scores;

@@ -64,7 +64,8 @@ util::Status BundleWriter::AddArtifact(const std::string& name,
 }
 
 util::Status BundleWriter::Finalize(std::uint64_t model_version,
-                                    const std::string& domain) {
+                                    const std::string& domain,
+                                    std::uint32_t num_shards) {
   METABLINK_RETURN_IF_ERROR(EnsureDirectory(dir_));
   CheckpointWriter manifest;
   util::BinaryWriter* w = manifest.AddSection(kManifestSection);
@@ -78,6 +79,10 @@ util::Status BundleWriter::Finalize(std::uint64_t model_version,
     w->WriteU64(a.size);
     w->WriteU32(a.crc32);
   }
+  // Trailing optional field: pre-shard readers stop at the artifact table,
+  // and Open tolerates its absence. Unsharded bundles skip it entirely so
+  // their manifests stay byte-identical to pre-shard packaging.
+  if (num_shards != 0) w->WriteU32(num_shards);
   return manifest.WriteToFile(dir_ + "/" + kManifestFilename);
 }
 
@@ -107,6 +112,10 @@ util::Result<BundleReader> BundleReader::Open(const std::string& dir) {
     METABLINK_RETURN_IF_ERROR(section->ReadU32(&a.crc32));
     METABLINK_RETURN_IF_ERROR(ValidFilename(a.filename));
     out.manifest_.artifacts.push_back(std::move(a));
+  }
+  // Optional trailing shard count (absent in pre-shard manifests → 0).
+  if (section->Remaining() >= 4) {
+    METABLINK_RETURN_IF_ERROR(section->ReadU32(&out.manifest_.num_shards));
   }
 
   // Verify every artifact file against the manifest before anything else

@@ -28,6 +28,12 @@ struct BundleManifest {
   std::uint64_t model_version = 0;
   std::string domain;
   std::vector<BundleArtifact> artifacts;
+  /// KB shard count the bundle was packaged for (how many contiguous
+  /// entity-id slices the serving tier should probe in parallel). 0 on
+  /// legacy manifests and unsharded bundles — servers treat 0 as 1 and may
+  /// override either way; the value is a packaging declaration, not a
+  /// correctness constraint (sharded probes are bit-identical at any N).
+  std::uint32_t num_shards = 0;
 };
 
 /// Writes a versioned artifact bundle: a directory of checkpoint-container
@@ -47,8 +53,10 @@ class BundleWriter {
                            const CheckpointWriter& ckpt);
 
   /// Writes the MANIFEST. Call exactly once, after every AddArtifact.
-  util::Status Finalize(std::uint64_t model_version,
-                        const std::string& domain);
+  /// `num_shards` declares the KB shard count the bundle targets (0 →
+  /// unsharded); readers of pre-shard manifests see 0.
+  util::Status Finalize(std::uint64_t model_version, const std::string& domain,
+                        std::uint32_t num_shards = 0);
 
  private:
   std::string dir_;

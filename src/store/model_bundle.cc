@@ -160,7 +160,8 @@ util::Status SaveModelBundle(const ModelBundleParts& parts,
     METABLINK_RETURN_IF_ERROR(bundle.AddArtifact("cascade", "cascade.ckpt",
                                                  ckpt));
   }
-  return bundle.Finalize(parts.model_version, parts.domain);
+  return bundle.Finalize(parts.model_version, parts.domain,
+                         parts.num_shards);
 }
 
 util::Result<ModelBundle> LoadModelBundle(const std::string& dir) {
@@ -170,6 +171,7 @@ util::Result<ModelBundle> LoadModelBundle(const std::string& dir) {
   ModelBundle out;
   out.model_version = bundle->manifest().model_version;
   out.domain = bundle->manifest().domain;
+  out.num_shards = bundle->manifest().num_shards;
 
   // The loader Rng only seeds throwaway initial weights; LoadCheckpoint
   // overwrites every value.

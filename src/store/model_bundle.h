@@ -34,6 +34,9 @@ struct ModelBundleParts {
   /// nullptr skips the artifact and a cascade-serving loader falls back to
   /// ServerOptions::cascade or the uncalibrated default.
   const model::CascadeModel* cascade = nullptr;
+  /// KB shard count declared in the manifest (0 → unsharded). Purely a
+  /// serving hint: loaders may probe with any count bit-identically.
+  std::uint32_t num_shards = 0;
 };
 
 /// A fully loaded serving model: everything LinkingServer needs to answer
@@ -57,6 +60,8 @@ struct ModelBundle {
   /// Calibrated cascade policy, present when the bundle shipped one.
   bool has_cascade = false;
   model::CascadeModel cascade;
+  /// Manifest-declared KB shard count (0 → unsharded / legacy bundle).
+  std::uint32_t num_shards = 0;
 };
 
 /// Packages `parts` into the bundle directory `dir`: one checkpoint

@@ -223,6 +223,39 @@ TEST(DenseIndexTest, QuantizedRecallAt64MatchesExact) {
   }
 }
 
+TEST(DenseIndexTest, SmallIndexQuantizedDispatchIsExact) {
+  // Below kQuantizedDispatchMinRows the int8 scan is slower than the exact
+  // fp32 scan (the 4k-entity bench point regressed 0.13 -> 0.19 ms/query),
+  // so TopKQuantizedInto dispatches straight to the exact kernel. The
+  // observable contract: ids, scores, and order are bit-identical to
+  // TopKInto, even with a pool far too small for the approximate scan to
+  // guarantee that.
+  static_assert(DenseIndex::kQuantizedDispatchMinRows == 65536,
+                "dispatch crossover moved; re-run bench_retrieval before "
+                "changing this test");
+  const std::size_t n = 3000, d = 24, k = 16;
+  DenseIndex index;
+  ASSERT_TRUE(index.Build(RandomEmbeddings(n, d, 17), Iota(n)).ok());
+  index.Quantize();
+  ASSERT_TRUE(index.quantized());
+
+  util::Rng rng(18);
+  TopKScratch scratch;
+  std::vector<ScoredEntity> exact, dispatched;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<float> q(d);
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+    index.TopKInto(q.data(), k, &scratch, &exact);
+    index.TopKQuantizedInto(q.data(), k, /*pool_size=*/k, &scratch,
+                            &dispatched);
+    ASSERT_EQ(exact.size(), dispatched.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(exact[i].id, dispatched[i].id);
+      EXPECT_EQ(exact[i].score, dispatched[i].score);
+    }
+  }
+}
+
 TEST(DenseIndexTest, QuantizeHandlesZeroRows) {
   tensor::Tensor emb(3, 4);
   emb.at(1, 2) = 0.5f;  // rows 0 and 2 stay all-zero

@@ -58,9 +58,12 @@ class ServeTest : public ::testing::Test {
   }
 
   /// Packages one pipeline's components as an artifact bundle under `dir`.
+  /// `with_pq` ships the clustered artifact in its PQ form; `num_shards`
+  /// is recorded in the manifest (0 = unsharded).
   void SaveBundle(const core::MetaBlinkPipeline& pipeline,
                   const std::string& dir, std::uint64_t version,
-                  bool with_clustered = false) {
+                  bool with_clustered = false, bool with_pq = false,
+                  std::uint32_t num_shards = 0) {
     const auto& ids = corpus_->kb.EntitiesInDomain("target");
     retrieval::DenseIndex index;
     ASSERT_TRUE(index
@@ -82,10 +85,32 @@ class ServeTest : public ::testing::Test {
     parts.rerank_cache = &cache;
     retrieval::ClusteredIndex clustered;
     if (with_clustered) {
-      ASSERT_TRUE(clustered.Build(index, {}).ok());
+      retrieval::ClusteredIndexOptions copts;
+      copts.use_pq = with_pq;
+      ASSERT_TRUE(clustered.Build(index, copts).ok());
       parts.clustered = &clustered;
     }
+    parts.num_shards = num_shards;
     ASSERT_TRUE(store::SaveModelBundle(parts, dir).ok());
+  }
+
+  /// Asserts both servers answer the first `n` test probes identically:
+  /// same entities, bit-identical fp32 scores.
+  void ExpectSameServing(LinkingServer* a, LinkingServer* b,
+                         std::size_t n = 5) {
+    for (std::size_t e = 0; e < n; ++e) {
+      const auto& ex = split_.test[e];
+      auto ra = a->Link(ex.mention, ex.left_context, ex.right_context, 5);
+      auto rb = b->Link(ex.mention, ex.left_context, ex.right_context, 5);
+      ASSERT_TRUE(ra.ok() && rb.ok());
+      ASSERT_EQ(ra->size(), rb->size()) << "probe " << e;
+      for (std::size_t i = 0; i < ra->size(); ++i) {
+        EXPECT_EQ((*ra)[i].entity_id, (*rb)[i].entity_id)
+            << "probe " << e << " rank " << i;
+        EXPECT_EQ((*ra)[i].score, (*rb)[i].score)
+            << "probe " << e << " rank " << i;
+      }
+    }
   }
 
   std::unique_ptr<data::Corpus> corpus_;
@@ -281,6 +306,107 @@ TEST_F(ServeTest, ClusteredBundleRoundTripServes) {
       EXPECT_EQ((*ra)[i].score, (*rb)[i].score);
     }
   }
+}
+
+TEST_F(ServeTest, ShardedServerMatchesSingleIndexServer) {
+  // num_shards splits the probe path into contiguous entity slices scanned
+  // in parallel; the deterministic re-offer merge keeps every response
+  // bit-identical to the single-index server at equal nprobe. Sharding is
+  // a memory/parallelism knob, never a quality knob — for both the fp32
+  // clustered scan and the PQ scan.
+  ServerOptions single;
+  single.retrieve_k = 16;
+  single.use_clustered = true;
+  ServerOptions sharded = single;
+  sharded.num_shards = 4;
+  auto a = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", single);
+  auto b = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", sharded);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->Stats().num_shards, 1u);
+  EXPECT_EQ((*b)->Stats().num_shards, 4u);
+  ExpectSameServing((*a).get(), (*b).get());
+
+  ServerOptions pq_single = single;
+  pq_single.use_pq = true;
+  ServerOptions pq_sharded = pq_single;
+  pq_sharded.num_shards = 4;
+  auto c = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", pq_single);
+  auto d = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", pq_sharded);
+  ASSERT_TRUE(c.ok() && d.ok());
+  EXPECT_TRUE((*c)->Stats().pq_active);
+  EXPECT_EQ((*d)->Stats().num_shards, 4u);
+  ExpectSameServing((*c).get(), (*d).get());
+}
+
+TEST_F(ServeTest, PqBundleAdoptionAndPqFreeServing) {
+  // A bundle shipping the PQ form of the clustered artifact is adopted
+  // as-is under use_pq (no retrain); the test KB is small enough that the
+  // rescore pool covers the whole domain, so probe-all PQ serving is
+  // bit-identical to the exhaustive server. The same bundle served with
+  // use_pq=false drops the shipped PQ form and matches a server built from
+  // a PQ-free clustered bundle, byte for byte.
+  const std::string pq_dir = ::testing::TempDir() + "metablink_serve_pq";
+  const std::string ivf_dir = ::testing::TempDir() + "metablink_serve_ivf";
+  SaveBundle(*pipeline_, pq_dir, /*version=*/12, /*with_clustered=*/true,
+             /*with_pq=*/true);
+  SaveBundle(*pipeline_, ivf_dir, /*version=*/12, /*with_clustered=*/true);
+
+  ServerOptions plain;
+  plain.retrieve_k = 16;
+  ServerOptions pq = plain;
+  pq.use_pq = true;
+  pq.nprobe = 1u << 20;  // clamps to num_clusters: probe-all
+  auto exhaustive = LinkingServer::FromBundle(pq_dir, plain);
+  auto adopted = LinkingServer::FromBundle(pq_dir, pq);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().message();
+  ASSERT_TRUE(adopted.ok()) << adopted.status().message();
+  EXPECT_TRUE((*adopted)->Stats().pq_active);
+  EXPECT_FALSE((*exhaustive)->Stats().pq_active);
+  ExpectSameServing((*exhaustive).get(), (*adopted).get());
+
+  ServerOptions ivf = plain;
+  ivf.use_clustered = true;
+  auto dropped = LinkingServer::FromBundle(pq_dir, ivf);
+  auto pq_free = LinkingServer::FromBundle(ivf_dir, ivf);
+  ASSERT_TRUE(dropped.ok() && pq_free.ok());
+  EXPECT_FALSE((*dropped)->Stats().pq_active);
+  ExpectSameServing((*dropped).get(), (*pq_free).get());
+
+  // use_pq against a bundle whose clustered artifact has no PQ codes:
+  // the server rebuilds the PQ index instead of adopting, and still serves.
+  auto rebuilt = LinkingServer::FromBundle(ivf_dir, pq);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().message();
+  EXPECT_TRUE((*rebuilt)->Stats().pq_active);
+  ExpectSameServing((*exhaustive).get(), (*rebuilt).get());
+}
+
+TEST_F(ServeTest, ManifestShardCountAdoptedAndOverridable) {
+  // A bundle saved with num_shards=4 shards the serving epoch by default;
+  // ServerOptions::num_shards=1 overrides the manifest back to a single
+  // index. Both serve bit-identically.
+  const std::string dir = ::testing::TempDir() + "metablink_serve_manifest4";
+  SaveBundle(*pipeline_, dir, /*version=*/13, /*with_clustered=*/true,
+             /*with_pq=*/false, /*num_shards=*/4);
+  ServerOptions ivf;
+  ivf.retrieve_k = 16;
+  ivf.use_clustered = true;  // num_shards=0: adopt the manifest count
+  ServerOptions forced = ivf;
+  forced.num_shards = 1;
+  auto sharded = LinkingServer::FromBundle(dir, ivf);
+  auto single = LinkingServer::FromBundle(dir, forced);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  ASSERT_TRUE(single.ok()) << single.status().message();
+  EXPECT_EQ((*sharded)->Stats().num_shards, 4u);
+  EXPECT_EQ((*single)->Stats().num_shards, 1u);
+  ExpectSameServing((*sharded).get(), (*single).get());
 }
 
 TEST_F(ServeTest, ServerCachesRepeatedRequests) {

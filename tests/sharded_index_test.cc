@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "retrieval/clustered_index.h"
+#include "retrieval/dense_index.h"
+#include "retrieval/sharded_index.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace metablink::retrieval {
+namespace {
+
+tensor::Tensor MixtureEmbeddings(std::size_t n, std::size_t d,
+                                 std::size_t components, float noise,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor centers(components, d);
+  for (float& v : centers.data()) v = rng.NextFloat(-1.0f, 1.0f);
+  tensor::Tensor t(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % components;
+    for (std::size_t j = 0; j < d; ++j) {
+      t.at(i, j) =
+          centers.at(c, j) + noise * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return t;
+}
+
+std::vector<kb::EntityId> Iota(std::size_t n) {
+  std::vector<kb::EntityId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<kb::EntityId>(i);
+  return ids;
+}
+
+void ExpectSameHits(const std::vector<ScoredEntity>& a,
+                    const std::vector<ScoredEntity>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;  // bit-identical fp32
+  }
+}
+
+TEST(ShardedIndexTest, BuildValidates) {
+  ShardedIndex sharded;
+  EXPECT_FALSE(sharded.Build(nullptr, 4).ok());
+  ClusteredIndex unbuilt;
+  EXPECT_FALSE(sharded.Build(&unbuilt, 4).ok());
+
+  DenseIndex base;
+  ASSERT_TRUE(
+      base.Build(MixtureEmbeddings(60, 8, 4, 0.2f, 1), Iota(60)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+  // Shard counts clamp to [1, size]: 0 and an oversized request both work.
+  ASSERT_TRUE(sharded.Build(&clustered, 0).ok());
+  EXPECT_EQ(sharded.num_shards(), 1u);
+  ASSERT_TRUE(sharded.Build(&clustered, 1000).ok());
+  EXPECT_EQ(sharded.num_shards(), 60u);
+}
+
+TEST(ShardedIndexTest, ShardsPartitionEveryList) {
+  // Union of per-shard restricted lists == the full lists, with the shard
+  // boundaries falling on contiguous row-position slices.
+  const std::size_t n = 900, d = 16;
+  DenseIndex base;
+  ASSERT_TRUE(
+      base.Build(MixtureEmbeddings(n, d, 8, 0.2f, 11), Iota(n)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+  ShardedIndex sharded;
+  ASSERT_TRUE(sharded.Build(&clustered, 7).ok());
+  ASSERT_EQ(sharded.num_shards(), 7u);
+  ASSERT_EQ(sharded.row_bounds().size(), 8u);
+  EXPECT_EQ(sharded.row_bounds().front(), 0u);
+  EXPECT_EQ(sharded.row_bounds().back(), static_cast<std::uint32_t>(n));
+  for (std::size_t s = 0; s + 1 < sharded.row_bounds().size(); ++s) {
+    EXPECT_LT(sharded.row_bounds()[s], sharded.row_bounds()[s + 1]);
+  }
+}
+
+// The tentpole bit-identity matrix: shard counts × nprobe settings ×
+// scan forms (fp32 / int8 / PQ), serial and pool-parallel, over data with
+// duplicated rows planted across shard boundaries so exact score ties must
+// merge in the same (score desc, id asc) order the single index uses.
+TEST(ShardedIndexTest, MatchesSingleIndexBitForBit) {
+  const std::size_t n = 2400, d = 24, k = 20;
+  tensor::Tensor emb = MixtureEmbeddings(n, d, 10, 0.2f, 21);
+  // Duplicated rows in different thirds of the row space: with >= 2 shards
+  // these land in different shards and tie exactly.
+  for (std::size_t j = 0; j < d; ++j) {
+    emb.at(900, j) = emb.at(100, j);
+    emb.at(1700, j) = emb.at(100, j);
+    emb.at(2300, j) = emb.at(42, j);
+  }
+  util::ThreadPool pool(4);
+  util::Rng rng(22);
+  std::vector<std::vector<float>> queries(12, std::vector<float>(d));
+  for (auto& q : queries) {
+    for (float& v : q) v = rng.NextFloat(-1, 1);
+  }
+
+  for (int form = 0; form < 3; ++form) {
+    DenseIndex base;
+    ASSERT_TRUE(base.Build(emb, Iota(n)).ok());
+    if (form == 1) base.Quantize();
+    ClusteredIndexOptions options;
+    options.use_pq = form == 2;
+    ClusteredIndex clustered;
+    ASSERT_TRUE(clustered.Build(base, options).ok());
+    ASSERT_EQ(clustered.pq_built(), form == 2);
+
+    ClusteredScratch single_scratch;
+    ShardedIndexScratch sharded_scratch;
+    std::vector<ScoredEntity> single_hits, sharded_hits;
+    for (const std::size_t num_shards : {2u, 4u, 7u}) {
+      ShardedIndex sharded;
+      ASSERT_TRUE(sharded.Build(&clustered, num_shards).ok());
+      for (const std::size_t nprobe :
+           {std::size_t{1}, clustered.default_nprobe(),
+            clustered.num_clusters()}) {
+        for (const auto& q : queries) {
+          clustered.TopKInto(q.data(), k, nprobe, &single_scratch,
+                             &single_hits);
+          sharded.TopKInto(q.data(), k, nprobe, &sharded_scratch,
+                           &sharded_hits);
+          ExpectSameHits(single_hits, sharded_hits);
+          sharded.TopKParallel(q.data(), k, nprobe, &pool, &sharded_scratch,
+                               &sharded_hits);
+          ExpectSameHits(single_hits, sharded_hits);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedIndexTest, EdgeCaseKZeroAndOversized) {
+  const std::size_t n = 80, d = 8;
+  DenseIndex base;
+  ASSERT_TRUE(
+      base.Build(MixtureEmbeddings(n, d, 4, 0.2f, 31), Iota(n)).ok());
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, {}).ok());
+  ShardedIndex sharded;
+  ASSERT_TRUE(sharded.Build(&clustered, 4).ok());
+  ShardedIndexScratch scratch;
+  std::vector<ScoredEntity> hits;
+  float q[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+  sharded.TopKInto(q, 0, 0, &scratch, &hits);
+  EXPECT_TRUE(hits.empty());
+  sharded.TopKInto(q, 1000, clustered.num_clusters(), &scratch, &hits);
+  ASSERT_EQ(hits.size(), n);
+  std::set<kb::EntityId> ids;
+  for (const auto& hit : hits) ids.insert(hit.id);
+  EXPECT_EQ(ids.size(), n);
+}
+
+TEST(ShardedIndexTest, ConcurrentQueryHammer) {
+  // 8 threads share one immutable sharded view and one pool; every result
+  // must equal the precomputed single-index answer. Under TSan this is the
+  // data-race check for the sharded probe path.
+  const std::size_t n = 2000, d = 16, k = 12;
+  DenseIndex base;
+  ASSERT_TRUE(
+      base.Build(MixtureEmbeddings(n, d, 8, 0.2f, 41), Iota(n)).ok());
+  ClusteredIndexOptions options;
+  options.use_pq = true;
+  ClusteredIndex clustered;
+  ASSERT_TRUE(clustered.Build(base, options).ok());
+  ShardedIndex sharded;
+  ASSERT_TRUE(sharded.Build(&clustered, 4).ok());
+
+  const std::size_t num_queries = 32;
+  util::Rng qrng(42);
+  tensor::Tensor queries(num_queries, d);
+  for (float& v : queries.data()) v = qrng.NextFloat(-1, 1);
+  std::vector<std::vector<ScoredEntity>> expected(num_queries);
+  {
+    ClusteredScratch scratch;
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      clustered.TopKInto(queries.row_data(i), k, 0, &scratch, &expected[i]);
+    }
+  }
+
+  util::ThreadPool shared_pool(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      ShardedIndexScratch scratch;
+      std::vector<ScoredEntity> hits;
+      for (int round = 0; round < 25; ++round) {
+        const std::size_t i = (t * 25 + round) % num_queries;
+        if (t % 2 == 0) {
+          sharded.TopKInto(queries.row_data(i), k, 0, &scratch, &hits);
+        } else {
+          sharded.TopKParallel(queries.row_data(i), k, 0, &shared_pool,
+                               &scratch, &hits);
+        }
+        if (hits.size() != expected[i].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t r = 0; r < hits.size(); ++r) {
+          if (hits[r].id != expected[i][r].id ||
+              hits[r].score != expected[i][r].score) {
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace metablink::retrieval

@@ -631,5 +631,39 @@ TEST_F(BundleTest, MissingDirectoryOrManifestIsNotFoundNotACrash) {
   EXPECT_FALSE(LoadModelBundle(TempPath("no_such_bundle")).ok());
 }
 
+TEST_F(BundleTest, ManifestShardCountRoundTrip) {
+  // A sharded bundle records its shard count in the manifest; an unsharded
+  // save omits the field entirely so its manifest bytes stay identical to
+  // the pre-sharding format, and reads back as 0.
+  const std::string sharded_dir = TempPath("bundle_sharded");
+  const std::string plain_dir = TempPath("bundle_unsharded");
+  ModelBundleParts parts;
+  parts.model_version = 9;
+  parts.domain = "target";
+  parts.bi = bi_.get();
+  parts.cross = cross_.get();
+  parts.kb = &corpus_->kb;
+  parts.index = &index_;
+  parts.num_shards = 4;
+  ASSERT_TRUE(SaveModelBundle(parts, sharded_dir).ok());
+  parts.num_shards = 0;
+  ASSERT_TRUE(SaveModelBundle(parts, plain_dir).ok());
+
+  auto sharded = LoadModelBundle(sharded_dir);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  EXPECT_EQ(sharded->num_shards, 4u);
+  auto plain = LoadModelBundle(plain_dir);
+  ASSERT_TRUE(plain.ok()) << plain.status().message();
+  EXPECT_EQ(plain->num_shards, 0u);
+
+  // The unsharded manifest must not have grown the trailing field: the
+  // otherwise-identical saves differ by exactly the one optional u32.
+  const std::vector<std::uint8_t> with = ReadAll(sharded_dir + "/MANIFEST");
+  const std::vector<std::uint8_t> without = ReadAll(plain_dir + "/MANIFEST");
+  ASSERT_FALSE(with.empty());
+  ASSERT_FALSE(without.empty());
+  EXPECT_EQ(with.size(), without.size() + sizeof(std::uint32_t));
+}
+
 }  // namespace
 }  // namespace metablink::store

@@ -28,6 +28,12 @@
 #                   forced-full-head byte identity, tier counters summing
 #                   to requests, serial == pooled determinism, accuracy
 #                   delta <= 0.2 pts)
+#  10. pq         — bench_retrieval --pq-smoke from stage 1's tree: the
+#                   PQ/sharding contracts (PQ probe-all full-pool ==
+#                   exhaustive fp32, KB-sharded == single index
+#                   bit-for-bit, deterministic PQ rebuild, PQ marginal
+#                   bytes/entity <= 25% of int8, int8 entry dispatching
+#                   to the exact scan below the crossover)
 #
 # Fails fast: the first failing stage stops the run; a summary table of
 # per-stage PASS/FAIL/SKIP status is always printed on exit.
@@ -39,7 +45,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval cascade)
+STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval cascade pq)
 declare -A STATUS
 for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
 
@@ -136,6 +142,18 @@ echo "== stage: cascade =="
 ./build-check-default/bench/bench_serving --cascade-smoke /tmp/metablink-smoke-cascade.json \
   || fail cascade
 STATUS[cascade]="PASS"
+
+echo
+echo "== stage: pq =="
+# Reduced PQ/sharding run: PQ probe-all with a full re-score pool must be
+# bit-identical to the exhaustive fp32 scan, the KB-sharded index must be
+# bit-identical to the single index (serial and pool-parallel), rebuilds
+# must be deterministic, PQ marginal bytes/entity must stay <= 25% of
+# int8's, and the int8 entry point must dispatch to the exact scan below
+# the crossover size (exit 1 on any violation).
+./build-check-default/bench/bench_retrieval --pq-smoke /tmp/metablink-smoke-pq.json \
+  || fail pq
+STATUS[pq]="PASS"
 
 echo
 echo "check.sh: all stages passed (or were skipped)"
