@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "data/generator.h"
+#include "load/workload.h"
 #include "model/bi_encoder.h"
 #include "model/cascade.h"
 #include "model/cross_encoder.h"
@@ -230,14 +231,31 @@ int main(int argc, char** argv) {
   model::BiEncoder bi(bi_cfg, &bi_rng);
   model::CrossEncoder cross(cross_cfg, &cross_rng);
 
-  // The request stream: total_requests drawn round-robin from a pool of
-  // distinct mentions (a zipf-free stand-in for repeated production
-  // queries; repeats are what the LRU cache monetizes).
-  std::vector<data::LinkingExample> requests;
-  requests.reserve(scale.total_requests);
-  for (std::size_t i = 0; i < scale.total_requests; ++i) {
-    requests.push_back(pool_examples[i % scale.distinct_requests]);
-  }
+  // The request stream, drawn through the load subsystem's generators. The
+  // timed and gated modes use kRoundRobin, which reproduces the historical
+  // `i % distinct` replay byte for byte (repeats are what the LRU cache
+  // monetizes); the full run adds a Zipf-skewed stream below to show the
+  // cascade's tier mix under realistic popularity.
+  auto MakeRequests = [&](load::MixKind kind,
+                          std::uint64_t seed) {
+    load::WorkloadConfig wl;
+    wl.kind = kind;
+    wl.pool_size = scale.distinct_requests;
+    wl.seed = seed;
+    auto stream = load::RequestStream::Make(wl);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::vector<data::LinkingExample> out;
+    out.reserve(scale.total_requests);
+    for (std::size_t i = 0; i < scale.total_requests; ++i) {
+      out.push_back(pool_examples[stream->Next()]);
+    }
+    return out;
+  };
+  const std::vector<data::LinkingExample> requests =
+      MakeRequests(load::MixKind::kRoundRobin, 1);
   const std::size_t k = scale.retrieve_k;
 
   // ---- Brief supervised training so retrieval and rerank correlate. --------
@@ -567,9 +585,11 @@ int main(int argc, char** argv) {
                 (stats.cache_hits + stats.cache_misses)
           : 0.0;
   std::printf("  batches=%llu cache_hit_rate=%.2f encode=%.1fms retrieve=%.1fms "
-              "rerank=%.1fms\n",
+              "rerank=%.1fms queue_hw=%zu accepted=%llu\n",
               static_cast<unsigned long long>(stats.batches), cache_hit_rate,
-              stats.encode_ms, stats.retrieve_ms, stats.rerank_ms);
+              stats.encode_ms, stats.retrieve_ms, stats.rerank_ms,
+              stats.queue_depth_high_water,
+              static_cast<unsigned long long>(stats.accepted));
 
   // ---- Mode 4: the batched server behind the calibrated cascade. -----------
   serve::ServerOptions cascade_opts = base_opts;
@@ -600,6 +620,34 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   server_cascade.stats.rerank_full),
               acc_full, acc_cascade, accuracy_delta_pts);
+
+  // ---- Mode 5: the cascade under a Zipf-skewed request stream. -------------
+  // Same server configuration, same pool, but requests drawn Zipf(0.99)
+  // instead of round-robin: the tier mix and the cache hit rate shift
+  // because hot mentions dominate (and repeat within LRU reach).
+  const std::vector<data::LinkingExample> zipf_requests =
+      MakeRequests(load::MixKind::kZipfian, 7);
+  const StreamResult cascade_zipf =
+      DriveServer(MakeServer(cascade_opts).get(), zipf_requests,
+                  scale.client_threads);
+  const double zipf_hit_rate =
+      cascade_zipf.stats.cache_hits + cascade_zipf.stats.cache_misses > 0
+          ? static_cast<double>(cascade_zipf.stats.cache_hits) /
+                (cascade_zipf.stats.cache_hits +
+                 cascade_zipf.stats.cache_misses)
+          : 0.0;
+  std::printf("[cascade_zipf]     p50 %7.3f ms  p99 %7.3f ms  %8.1f qps  "
+              "(theta=0.99)\n",
+              cascade_zipf.mode.p50_ms, cascade_zipf.mode.p99_ms,
+              cascade_zipf.mode.qps);
+  std::printf("  tiers: exited=%llu distilled=%llu full=%llu | "
+              "cache_hit_rate=%.2f (uniform %.2f)\n",
+              static_cast<unsigned long long>(
+                  cascade_zipf.stats.rerank_exited),
+              static_cast<unsigned long long>(
+                  cascade_zipf.stats.rerank_distilled),
+              static_cast<unsigned long long>(cascade_zipf.stats.rerank_full),
+              zipf_hit_rate, cache_hit_rate);
 
   const double speedup = server.mode.qps / tape.qps;
   const bool parity_ok = max_score_diff <= 1e-6 && int8_overlap == 1.0;
@@ -645,10 +693,13 @@ int main(int argc, char** argv) {
                "  \"server_batched\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
                "\"qps\": %.1f, \"batches\": %llu, \"cache_hit_rate\": %.4f, "
                "\"encode_ms\": %.3f, \"retrieve_ms\": %.3f, "
-               "\"rerank_ms\": %.3f},\n",
+               "\"rerank_ms\": %.3f, \"accepted\": %llu, "
+               "\"queue_depth_high_water\": %zu, \"oldest_wait_us\": %.1f},\n",
                server.mode.p50_ms, server.mode.p99_ms, server.mode.qps,
                static_cast<unsigned long long>(stats.batches), cache_hit_rate,
-               stats.encode_ms, stats.retrieve_ms, stats.rerank_ms);
+               stats.encode_ms, stats.retrieve_ms, stats.rerank_ms,
+               static_cast<unsigned long long>(stats.accepted),
+               stats.queue_depth_high_water, stats.oldest_wait_us);
   std::fprintf(f,
                "  \"server_batched_int8\": {\"p50_ms\": %.4f, \"p99_ms\": "
                "%.4f, \"qps\": %.1f, \"quantized_pool\": %zu},\n",
@@ -673,6 +724,21 @@ int main(int argc, char** argv) {
                cascade.config.margin_tau, cascade.config.distill_tau,
                cascade.config.band_epsilon, cascade.config.rerank_head_k,
                acc_full, acc_cascade, accuracy_delta_pts);
+  std::fprintf(f,
+               "  \"server_cascade_zipf\": {\"theta\": 0.99, \"p50_ms\": "
+               "%.4f, \"p99_ms\": %.4f, \"qps\": %.1f, "
+               "\"rerank_exited\": %llu, \"rerank_distilled\": %llu, "
+               "\"rerank_full\": %llu, \"cache_hit_rate\": %.4f, "
+               "\"cache_hit_rate_uniform\": %.4f},\n",
+               cascade_zipf.mode.p50_ms, cascade_zipf.mode.p99_ms,
+               cascade_zipf.mode.qps,
+               static_cast<unsigned long long>(
+                   cascade_zipf.stats.rerank_exited),
+               static_cast<unsigned long long>(
+                   cascade_zipf.stats.rerank_distilled),
+               static_cast<unsigned long long>(
+                   cascade_zipf.stats.rerank_full),
+               zipf_hit_rate, cache_hit_rate);
   std::fprintf(f,
                "  \"parity\": {\"max_score_diff\": %.3e, "
                "\"int8_r64_overlap\": %.6f, "

@@ -1,0 +1,75 @@
+#include "load/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace metablink::load {
+
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // exp >= 1: shift until the value fits in kSubBucketBits bits; the
+  // surviving sub-bucket is in [kSubBuckets/2, kSubBuckets).
+  const int exp = std::bit_width(value) - kSubBucketBits;
+  const std::uint64_t sub = value >> exp;
+  return kSubBuckets + static_cast<std::size_t>(exp - 1) * (kSubBuckets / 2) +
+         static_cast<std::size_t>(sub - kSubBuckets / 2);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::size_t i = index - kSubBuckets;
+  const int exp = static_cast<int>(i / (kSubBuckets / 2)) + 1;
+  const std::uint64_t sub = i % (kSubBuckets / 2) + kSubBuckets / 2;
+  return ((sub + 1) << exp) - 1;
+}
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+}  // namespace metablink::load

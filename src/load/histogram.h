@@ -1,0 +1,65 @@
+#ifndef METABLINK_LOAD_HISTOGRAM_H_
+#define METABLINK_LOAD_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace metablink::load {
+
+/// HDR-style log-bucketed histogram for latency recording on the hot path.
+///
+/// The value space is split into octaves; each octave above the first gets
+/// 2^(kSubBucketBits-1) linear sub-buckets, so every recorded value lands
+/// in a bucket whose width is at most 2^-(kSubBucketBits-1) of its
+/// magnitude — a <= 1.6% relative error at the default 7 sub-bucket bits,
+/// over the full 64-bit range, in ~30 KB of fixed storage. Values below
+/// 2^kSubBucketBits are exact. Record() is branch-light constant time (a
+/// bit_width and two shifts), so an open-loop driver can record per-request
+/// latencies without perturbing its own arrival clock; percentile queries
+/// walk the bucket array and return the bucket's upper bound (clamped to
+/// the exact observed max), matching HDR's highest-equivalent-value
+/// convention.
+///
+/// Values are unit-agnostic integers; the load subsystem records
+/// nanoseconds. Not thread-safe: record into per-thread histograms and
+/// Merge().
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 7;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  static constexpr std::size_t kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * (kSubBuckets / 2);
+
+  LatencyHistogram();
+
+  void Record(std::uint64_t value);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  /// Value at quantile `q` in [0, 1]: the smallest bucket upper bound
+  /// covering ceil(q * count) recorded values (clamped to the observed
+  /// min/max). 0 when empty.
+  std::uint64_t ValueAtQuantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Bucket mapping, exposed for tests: index for a value and the largest
+  /// value mapping to that index.
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace metablink::load
+
+#endif  // METABLINK_LOAD_HISTOGRAM_H_

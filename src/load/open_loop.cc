@@ -1,0 +1,113 @@
+#include "load/open_loop.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace metablink::load {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+std::vector<std::uint64_t> OpenLoopDriver::ArrivalOffsetsNs(
+    const OpenLoopOptions& options) {
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(options.total_requests);
+  const double qps = std::max(options.target_qps, 1e-9);
+  if (!options.poisson) {
+    const double gap_ns = 1e9 / qps;
+    for (std::size_t i = 0; i < options.total_requests; ++i) {
+      offsets.push_back(
+          static_cast<std::uint64_t>(gap_ns * static_cast<double>(i)));
+    }
+    return offsets;
+  }
+  util::Rng rng(options.seed);
+  double t_ns = 0.0;
+  for (std::size_t i = 0; i < options.total_requests; ++i) {
+    offsets.push_back(static_cast<std::uint64_t>(t_ns));
+    // Exponential inter-arrival gap; 1 - u avoids log(0).
+    t_ns += -std::log(1.0 - rng.NextDouble()) * 1e9 / qps;
+  }
+  return offsets;
+}
+
+OpenLoopResult OpenLoopDriver::Run(
+    const OpenLoopOptions& options,
+    const std::function<IssueOutcome(std::size_t)>& issue) {
+  const std::vector<std::uint64_t> offsets = ArrivalOffsetsNs(options);
+  OpenLoopResult result;
+  if (offsets.empty()) return result;
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(options.max_clients, offsets.size()));
+  std::atomic<std::size_t> next{0};
+  std::mutex merge_mu;
+  // Small fixed start offset so no thread finds its first arrival already
+  // in the past while the workers are still being spawned.
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(2);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      LatencyHistogram local_hist;
+      std::size_t local_ok = 0, local_shed = 0, local_errors = 0;
+      double local_lag_ms = 0.0;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= offsets.size()) break;
+        const Clock::time_point arrival =
+            t0 + std::chrono::nanoseconds(offsets[i]);
+        std::this_thread::sleep_until(arrival);
+        const Clock::time_point issued_at = Clock::now();
+        local_lag_ms = std::max(
+            local_lag_ms,
+            std::chrono::duration<double, std::milli>(issued_at - arrival)
+                .count());
+        const IssueOutcome outcome = issue(i);
+        const Clock::time_point done = Clock::now();
+        switch (outcome) {
+          case IssueOutcome::kOk: {
+            ++local_ok;
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                                     arrival)
+                    .count();
+            local_hist.Record(
+                static_cast<std::uint64_t>(std::max<std::int64_t>(0, ns)));
+            break;
+          }
+          case IssueOutcome::kShed:
+            ++local_shed;
+            break;
+          case IssueOutcome::kError:
+            ++local_errors;
+            break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      result.latency_ns.Merge(local_hist);
+      result.ok += local_ok;
+      result.shed += local_shed;
+      result.errors += local_errors;
+      result.max_start_lag_ms =
+          std::max(result.max_start_lag_ms, local_lag_ms);
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.issued = result.ok + result.shed + result.errors;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  result.achieved_qps = result.wall_ms > 0.0
+                            ? 1000.0 * static_cast<double>(result.ok) /
+                                  result.wall_ms
+                            : 0.0;
+  return result;
+}
+
+}  // namespace metablink::load

@@ -1,0 +1,72 @@
+#ifndef METABLINK_LOAD_OPEN_LOOP_H_
+#define METABLINK_LOAD_OPEN_LOOP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "load/histogram.h"
+
+namespace metablink::load {
+
+/// What one scheduled request came back as. kShed maps to a load-shed
+/// (kUnavailable) response — expected under deliberate overload and
+/// counted separately from real failures.
+enum class IssueOutcome { kOk, kShed, kError };
+
+struct OpenLoopOptions {
+  /// Target arrival rate. Arrivals are scheduled on the driver's own
+  /// clock, independent of completions — the defining property of an
+  /// open-loop load test (a closed loop self-throttles under overload and
+  /// hides queueing collapse).
+  double target_qps = 1000.0;
+  std::size_t total_requests = 1000;
+  /// Poisson arrivals (exponential inter-arrival gaps) when true, a fixed
+  /// 1/target_qps interval when false. Both are deterministic per seed.
+  bool poisson = true;
+  /// Client threads available to issue scheduled requests. If all are
+  /// blocked in slow requests, later arrivals are issued late — the lag is
+  /// part of the measured latency (see below), never silently dropped.
+  std::size_t max_clients = 64;
+  std::uint64_t seed = 1;
+};
+
+struct OpenLoopResult {
+  std::size_t issued = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t errors = 0;
+  double wall_ms = 0.0;
+  /// Completed-OK requests per second of wall time.
+  double achieved_qps = 0.0;
+  /// Worst (actual issue time - scheduled arrival) over the run: how far
+  /// the driver fell behind its own schedule.
+  double max_start_lag_ms = 0.0;
+  /// Scheduled-arrival -> completion, nanoseconds, successful requests
+  /// only. Measuring from the *scheduled* arrival (not the possibly-late
+  /// issue) charges queueing delay to the server, avoiding coordinated
+  /// omission: a stalled server cannot make its own latency numbers look
+  /// good by slowing the generator down.
+  LatencyHistogram latency_ns;
+};
+
+class OpenLoopDriver {
+ public:
+  /// Arrival offsets (ns from stream start), deterministic per options:
+  /// i/target_qps for fixed-interval, a seeded exponential-gap cumsum for
+  /// Poisson. Exposed so tests can pin determinism and spacing.
+  static std::vector<std::uint64_t> ArrivalOffsetsNs(
+      const OpenLoopOptions& options);
+
+  /// Runs the configured arrival process against `issue`, which performs
+  /// request i (blocking) and reports its outcome. `issue` is called
+  /// concurrently from up to max_clients threads.
+  static OpenLoopResult Run(
+      const OpenLoopOptions& options,
+      const std::function<IssueOutcome(std::size_t)>& issue);
+};
+
+}  // namespace metablink::load
+
+#endif  // METABLINK_LOAD_OPEN_LOOP_H_

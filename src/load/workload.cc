@@ -1,0 +1,124 @@
+#include "load/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metablink::load {
+
+double ZipfianGenerator::Zeta(std::size_t n, double theta) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::size_t items, double theta)
+    : items_(std::max<std::size_t>(1, items)), theta_(theta) {
+  zetan_ = Zeta(items_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+std::size_t ZipfianGenerator::Next(util::Rng* rng) const {
+  if (items_ == 1) return 0;
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const auto rank = static_cast<std::size_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, items_ - 1);
+}
+
+std::uint64_t Fnv64(std::uint64_t v) {
+  constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t hash = kOffsetBasis;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= v & 0xFFULL;
+    hash *= kPrime;
+    v >>= 8;
+  }
+  return hash;
+}
+
+const char* MixKindName(MixKind kind) {
+  switch (kind) {
+    case MixKind::kRoundRobin: return "round_robin";
+    case MixKind::kUniform: return "uniform";
+    case MixKind::kZipfian: return "zipfian";
+    case MixKind::kScrambledZipfian: return "scrambled_zipfian";
+    case MixKind::kReadLatest: return "read_latest";
+    case MixKind::kHotShift: return "hot_shift";
+  }
+  return "unknown";
+}
+
+util::Result<RequestStream> RequestStream::Make(const WorkloadConfig& config) {
+  if (config.pool_size == 0) {
+    return util::Status::InvalidArgument("workload pool_size must be >= 1");
+  }
+  const bool zipf_family = config.kind == MixKind::kZipfian ||
+                           config.kind == MixKind::kScrambledZipfian ||
+                           config.kind == MixKind::kReadLatest ||
+                           config.kind == MixKind::kHotShift;
+  if (zipf_family && (config.theta <= 0.0 || config.theta >= 1.0)) {
+    return util::Status::InvalidArgument(
+        "zipf theta must be in (0, 1); the YCSB closed form diverges at 1");
+  }
+  return RequestStream(config);
+}
+
+RequestStream::RequestStream(const WorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.pool_size, config.theta) {
+  if (config_.shift_step == 0) {
+    config_.shift_step = std::max<std::size_t>(1, config_.pool_size / 8);
+  }
+  if (config_.advance_every == 0) config_.advance_every = 1;
+}
+
+std::size_t RequestStream::Next() {
+  const std::size_t pool = config_.pool_size;
+  switch (config_.kind) {
+    case MixKind::kRoundRobin:
+      return counter_++ % pool;
+    case MixKind::kUniform:
+      return static_cast<std::size_t>(rng_.NextUint64(pool));
+    case MixKind::kZipfian:
+      return zipf_.Next(&rng_);
+    case MixKind::kScrambledZipfian:
+      return static_cast<std::size_t>(Fnv64(zipf_.Next(&rng_)) % pool);
+    case MixKind::kReadLatest: {
+      // Popularity is Zipfian over distance behind the moving head: rank 0
+      // is the "newest" item, rank r the item inserted r steps earlier.
+      ++counter_;
+      if (counter_ % config_.advance_every == 0) head_ = (head_ + 1) % pool;
+      const std::size_t rank = zipf_.Next(&rng_);
+      return (head_ + pool - rank % pool) % pool;
+    }
+    case MixKind::kHotShift: {
+      const std::size_t raw = zipf_.Next(&rng_);
+      const std::size_t idx = (raw + offset_) % pool;
+      ++counter_;
+      if (config_.shift_every != 0 && counter_ % config_.shift_every == 0) {
+        offset_ = (offset_ + config_.shift_step) % pool;
+      }
+      return idx;
+    }
+  }
+  return 0;
+}
+
+void RequestStream::Fill(std::size_t n, std::vector<std::size_t>* out) {
+  out->reserve(out->size() + n);
+  for (std::size_t i = 0; i < n; ++i) out->push_back(Next());
+}
+
+}  // namespace metablink::load

@@ -1,0 +1,126 @@
+#ifndef METABLINK_LOAD_WORKLOAD_H_
+#define METABLINK_LOAD_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metablink::load {
+
+/// YCSB-style Zipfian rank generator: draws ranks in [0, items) where rank
+/// 0 is the most popular and P(rank) ∝ 1/(rank+1)^theta. The zeta sums the
+/// rejection-free inverse transform needs are computed once at
+/// construction, so the per-draw cost is constant — no O(n) work or table
+/// lookup inside the serving loop, which is what lets an open-loop driver
+/// generate arrivals at six-figure QPS without perturbing its own clock.
+///
+/// The draw itself is Gray/Jim's approximation as used by YCSB: the top two
+/// ranks get their exact probabilities and the tail is mapped through
+/// items * (eta*u - eta + 1)^alpha. Stateless apart from the precomputed
+/// constants; the caller supplies the Rng so one seed drives one stream.
+class ZipfianGenerator {
+ public:
+  /// YCSB's canonical skew: rank 0 takes ~20% of a 64-item pool's draws.
+  static constexpr double kDefaultTheta = 0.99;
+
+  /// Pre: items >= 1 and 0 < theta < 1 (the closed form diverges at 1;
+  /// RequestStream::Make validates before constructing).
+  explicit ZipfianGenerator(std::size_t items, double theta = kDefaultTheta);
+
+  /// Next rank in [0, items), most popular first.
+  std::size_t Next(util::Rng* rng) const;
+
+  std::size_t items() const { return items_; }
+  double theta() const { return theta_; }
+
+  /// zeta(n, theta) = sum_{i=1..n} 1/i^theta — the normalizer. Exposed so
+  /// tests can check the constants and callers can estimate head mass.
+  static double Zeta(std::size_t n, double theta);
+
+ private:
+  std::size_t items_;
+  double theta_;
+  double zetan_;           // zeta(items, theta), computed once
+  double alpha_;           // 1 / (1 - theta)
+  double eta_;             // YCSB tail-mapping constant
+  double half_pow_theta_;  // 0.5^theta: rank-1 acceptance threshold
+};
+
+/// FNV-1 64-bit hash of `v`'s eight bytes; the scrambler behind
+/// MixKind::kScrambledZipfian (popularity ranks stop being contiguous
+/// indices, so "hot" items scatter across the pool like real entities).
+std::uint64_t Fnv64(std::uint64_t v);
+
+/// How a RequestStream maps draws onto pool indices.
+enum class MixKind {
+  /// i % pool_size — the legacy closed-loop bench replay, bit-compatible
+  /// with the pre-load-subsystem request streams.
+  kRoundRobin,
+  /// Uniform over the pool.
+  kUniform,
+  /// Zipfian popularity: index 0 hottest.
+  kZipfian,
+  /// Zipfian popularity scattered over the pool by Fnv64, so hot items are
+  /// not clustered at the low indices.
+  kScrambledZipfian,
+  /// YCSB read-latest: popularity is Zipfian over recency. A virtual
+  /// "newest item" head advances every `advance_every` draws and draws
+  /// concentrate just behind it.
+  kReadLatest,
+  /// Zipfian whose hot range rotates: every `shift_every` draws the whole
+  /// popularity ranking shifts by `shift_step` positions (mod pool), the
+  /// churn pattern that evicts an LRU's working set.
+  kHotShift,
+};
+
+const char* MixKindName(MixKind kind);
+
+/// Deterministic, seeded description of one synthetic request stream.
+struct WorkloadConfig {
+  MixKind kind = MixKind::kRoundRobin;
+  /// Distinct requests the stream indexes into. Required (>= 1).
+  std::size_t pool_size = 0;
+  /// Zipf exponent for the zipfian-family kinds; must be in (0, 1).
+  double theta = ZipfianGenerator::kDefaultTheta;
+  std::uint64_t seed = 1;
+  /// kHotShift: draws between rotations (0 disables shifting).
+  std::size_t shift_every = 0;
+  /// kHotShift: positions the ranking rotates per shift; 0 defaults to
+  /// pool_size / 8 (min 1).
+  std::size_t shift_step = 0;
+  /// kReadLatest: draws between head advances (>= 1; 0 defaults to 1).
+  std::size_t advance_every = 1;
+};
+
+/// One deterministic stream of pool indices: the same config (seed
+/// included) always yields the same sequence, which is what makes
+/// byte-identity gates over served traffic possible.
+class RequestStream {
+ public:
+  static util::Result<RequestStream> Make(const WorkloadConfig& config);
+
+  /// Next pool index in [0, pool_size).
+  std::size_t Next();
+
+  /// Appends `n` draws to `*out`.
+  void Fill(std::size_t n, std::vector<std::size_t>* out);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  explicit RequestStream(const WorkloadConfig& config);
+
+  WorkloadConfig config_;
+  util::Rng rng_;
+  ZipfianGenerator zipf_;
+  std::size_t counter_ = 0;  // draws so far (round-robin position)
+  std::size_t offset_ = 0;   // kHotShift rotation
+  std::size_t head_ = 0;     // kReadLatest newest item
+};
+
+}  // namespace metablink::load
+
+#endif  // METABLINK_LOAD_WORKLOAD_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "util/logging.h"
@@ -267,14 +268,38 @@ util::Result<std::vector<core::LinkPrediction>> LinkingServer::Link(
   req.top_k = top_k;
   req.enqueued = Clock::now();
   auto future = req.promise.get_future();
+  // Holds a drop-oldest victim so its promise is fulfilled off the lock.
+  std::optional<Request> shed_victim;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
       return util::Status::FailedPrecondition("server is shutting down");
     }
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      if (options_.shed_policy == LoadShedPolicy::kRejectNew) {
+        ++rejected_;
+        return util::Status::Unavailable(
+            "request rejected: queue full (max_queue=" +
+            std::to_string(options_.max_queue) + ")");
+      }
+      shed_victim.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+      ++shed_;
+    }
     queue_.push_back(std::move(req));
+    ++accepted_;
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+    // Notify while still holding mu_: the destructor's shutdown drain also
+    // takes mu_, so once it fulfills this request's promise no further
+    // touch of queue_cv_ from this call is possible — destroying the
+    // server with callers still blocked in Link stays well-defined.
+    queue_cv_.notify_all();
   }
-  queue_cv_.notify_all();
+  if (shed_victim.has_value()) {
+    shed_victim->promise.set_value(util::Status::Unavailable(
+        "request shed: dropped as oldest in a full queue (max_queue=" +
+        std::to_string(options_.max_queue) + ")"));
+  }
   return future.get();
 }
 
@@ -300,6 +325,7 @@ void LinkingServer::SchedulerLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    in_flight_ += n;
     lock.unlock();
     ServeBatch(&batch);
   }
@@ -588,6 +614,13 @@ void LinkingServer::ServeBatch(std::vector<Request>* batch) {
       if (outcomes[i].ok()) latencies_ms_.push_back(batch_latencies[i]);
     }
   }
+  {
+    // Completed-before-fulfilled: once any promise below is visible to its
+    // caller, this batch is already out of the in-flight gauge and counted
+    // in stats_.requests.
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ -= m;
+  }
   for (std::size_t i = 0; i < m; ++i) {
     (*batch)[i].promise.set_value(std::move(outcomes[i]));
   }
@@ -632,6 +665,21 @@ ServerStats LinkingServer::Stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.accepted = accepted_;
+    out.rejected = rejected_;
+    out.shed = shed_;
+    out.queue_depth = queue_.size();
+    out.queue_depth_high_water = queue_high_water_;
+    out.in_flight = in_flight_;
+    out.oldest_wait_us =
+        queue_.empty()
+            ? 0.0
+            : std::chrono::duration<double, std::micro>(
+                  Clock::now() - queue_.front().enqueued)
+                  .count();
   }
   {
     std::lock_guard<std::mutex> lock(epoch_mu_);

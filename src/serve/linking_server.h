@@ -28,6 +28,18 @@
 
 namespace metablink::serve {
 
+/// What a full bounded queue sheds (ServerOptions::max_queue).
+enum class LoadShedPolicy {
+  /// Refuse the arriving request with kUnavailable; queued requests keep
+  /// their FIFO positions (oldest-first service, freshest rejected).
+  kRejectNew,
+  /// Complete the oldest queued request with kUnavailable and admit the
+  /// arrival (freshest-first service under overload; the oldest request is
+  /// the one whose caller has already waited longest and is most likely to
+  /// have timed out upstream).
+  kDropOldest,
+};
+
 /// Knobs for the micro-batching request scheduler.
 struct ServerOptions {
   /// Flush a batch as soon as this many requests are pending.
@@ -89,6 +101,16 @@ struct ServerOptions {
   /// Override of the cascade's early-exit margin threshold; negative
   /// adopts the cascade model's calibrated value.
   float margin_tau = -1.0f;
+  /// Admission control: maximum depth of the pending-request queue. 0
+  /// keeps the legacy unbounded queue — every Link blocks until served and
+  /// responses are byte-identical to pre-admission-control builds. With a
+  /// bound, a Link arriving at a full queue is shed per `shed_policy`
+  /// instead of queueing, so overload degrades into prompt kUnavailable
+  /// errors with bounded latency for the admitted requests rather than
+  /// into unbounded queue growth.
+  std::size_t max_queue = 0;
+  /// Which request a full queue sheds. Only read when max_queue > 0.
+  LoadShedPolicy shed_policy = LoadShedPolicy::kRejectNew;
   /// Borrowed calibrated cascade policy (train::CalibrateCascade) for
   /// servers built over raw components or bundles without a "cascade"
   /// artifact; must outlive the server. A bundle's own artifact takes
@@ -127,6 +149,30 @@ struct ServerStats {
   /// operators (and tests) can tell which path answered.
   std::uint64_t num_shards = 1;
   bool pq_active = false;
+  /// Admission control. Every Link call lands in exactly one of
+  /// accepted/rejected, and every accepted request is eventually either
+  /// completed by a batch (counted in `requests`) or shed by kDropOldest —
+  /// so the books always balance:
+  ///   accepted == requests + shed + queue_depth + in_flight
+  /// with the last two zero at quiescence. (The counters live on two
+  /// mutexes, so a snapshot taken mid-batch can be transiently skewed by
+  /// one in-flight batch; once every outstanding Link has returned the
+  /// identity above is exact.)
+  std::uint64_t accepted = 0;
+  /// Refused at admission (kRejectNew with a full queue). Never queued, so
+  /// never counted in accepted/requests/shed.
+  std::uint64_t rejected = 0;
+  /// Admitted, then dropped from the queue by kDropOldest; completed with
+  /// kUnavailable, never served by a batch.
+  std::uint64_t shed = 0;
+  /// Gauges, snapshotted at Stats() time.
+  std::size_t queue_depth = 0;
+  /// Deepest the queue has ever been (== the bound it would have needed).
+  std::size_t queue_depth_high_water = 0;
+  /// Requests popped into a batch and not yet completed.
+  std::size_t in_flight = 0;
+  /// How long the current queue front has been waiting (0 when empty).
+  double oldest_wait_us = 0.0;
 };
 
 /// Production-style serving front-end for a fitted MetaBLINK system.
@@ -186,7 +232,10 @@ class LinkingServer {
   /// Links one mention, blocking until its batch is served. Thread-safe:
   /// any number of threads may call concurrently; concurrency is what
   /// creates batching opportunities. Returns up to `top_k` predictions,
-  /// best first.
+  /// best first. With a bounded queue (ServerOptions::max_queue) an
+  /// overloaded server returns kUnavailable instead of blocking — either
+  /// immediately (kRejectNew refused this call) or after a wait
+  /// (kDropOldest shed this request to admit a newer one).
   util::Result<std::vector<core::LinkPrediction>> Link(
       const std::string& mention, const std::string& left_context,
       const std::string& right_context, std::size_t top_k = 5);
@@ -315,11 +364,22 @@ class LinkingServer {
   std::shared_ptr<ModelEpoch> epoch_;
   std::uint64_t swaps_ = 0;
 
-  // Request queue, guarded by mu_.
-  std::mutex mu_;
+  // Request queue, guarded by mu_ (mutable: Stats() reads the depth and
+  // admission counters).
+  mutable std::mutex mu_;
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   bool stop_ = false;
+  // Admission bookkeeping, guarded by mu_ (updated on the Link path and at
+  // batch pop/completion, which already hold it). in_flight_ is decremented
+  // by ServeBatch *before* it fulfills the batch's promises, so a caller
+  // that returns from Link and immediately reads Stats never sees its own
+  // request still counted as in flight.
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::size_t in_flight_ = 0;
   std::thread scheduler_;
 
   // Scheduler-thread-only scratch (never touched by callers; model-version

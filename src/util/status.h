@@ -23,6 +23,9 @@ enum class StatusCode : std::uint8_t {
   /// Stored data failed an integrity check (checksum mismatch, torn file):
   /// the bytes were readable but cannot be trusted.
   kDataLoss = 9,
+  /// The service is temporarily unable to take the request (overload,
+  /// admission control); retrying later may succeed.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -71,6 +74,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "load/histogram.h"
+#include "load/open_loop.h"
+#include "load/workload.h"
+
+namespace metablink::load {
+namespace {
+
+std::vector<std::size_t> Draw(const WorkloadConfig& config, std::size_t n) {
+  auto stream = RequestStream::Make(config);
+  EXPECT_TRUE(stream.ok()) << stream.status();
+  std::vector<std::size_t> out;
+  stream->Fill(n, &out);
+  return out;
+}
+
+std::vector<std::size_t> Frequencies(const std::vector<std::size_t>& draws,
+                                     std::size_t pool) {
+  std::vector<std::size_t> freq(pool, 0);
+  for (std::size_t d : draws) {
+    EXPECT_LT(d, pool);
+    ++freq[d];
+  }
+  return freq;
+}
+
+TEST(ZipfianGeneratorTest, ZetaMatchesDirectSum) {
+  double direct = 0.0;
+  for (int i = 1; i <= 100; ++i) direct += 1.0 / std::pow(i, 0.99);
+  EXPECT_NEAR(ZipfianGenerator::Zeta(100, 0.99), direct, 1e-12);
+}
+
+TEST(ZipfianGeneratorTest, RanksInRangeAndHeadHeavy) {
+  const std::size_t pool = 64;
+  ZipfianGenerator zipf(pool);
+  util::Rng rng(7);
+  std::vector<std::size_t> freq(pool, 0);
+  const std::size_t draws = 20000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::size_t r = zipf.Next(&rng);
+    ASSERT_LT(r, pool);
+    ++freq[r];
+  }
+  // Rank 0 carries ~1/zeta(64, .99) ≈ 20% of the mass — far above the
+  // 1/64 ≈ 1.6% a uniform draw would give it.
+  EXPECT_GT(freq[0], draws / 10);
+  EXPECT_GT(freq[0], freq[8]);
+  EXPECT_GT(freq[0], freq[32]);
+  // The head dominates: top 8 ranks take most of the stream.
+  const std::size_t head = std::accumulate(freq.begin(), freq.begin() + 8,
+                                           std::size_t{0});
+  EXPECT_GT(head, draws / 2);
+}
+
+TEST(RequestStreamTest, SameSeedSameStreamDifferentSeedDiffers) {
+  for (MixKind kind : {MixKind::kUniform, MixKind::kZipfian,
+                       MixKind::kScrambledZipfian, MixKind::kReadLatest,
+                       MixKind::kHotShift}) {
+    WorkloadConfig config;
+    config.kind = kind;
+    config.pool_size = 128;
+    config.seed = 42;
+    config.shift_every = 100;
+    const auto a = Draw(config, 2048);
+    const auto b = Draw(config, 2048);
+    EXPECT_EQ(a, b) << MixKindName(kind);
+    config.seed = 43;
+    const auto c = Draw(config, 2048);
+    EXPECT_NE(a, c) << MixKindName(kind);
+  }
+}
+
+TEST(RequestStreamTest, RoundRobinMatchesModulo) {
+  WorkloadConfig config;
+  config.kind = MixKind::kRoundRobin;
+  config.pool_size = 24;
+  const auto draws = Draw(config, 100);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    EXPECT_EQ(draws[i], i % config.pool_size);
+  }
+}
+
+TEST(RequestStreamTest, UniformCoversPool) {
+  WorkloadConfig config;
+  config.kind = MixKind::kUniform;
+  config.pool_size = 32;
+  const auto freq = Frequencies(Draw(config, 8000), config.pool_size);
+  for (std::size_t f : freq) {
+    EXPECT_GT(f, 8000 / 32 / 3);  // every item drawn a fair share
+  }
+}
+
+TEST(RequestStreamTest, ScrambledZipfianSpreadsTheHotItems) {
+  WorkloadConfig config;
+  config.kind = MixKind::kScrambledZipfian;
+  config.pool_size = 128;
+  const std::size_t draws = 20000;
+  const auto freq = Frequencies(Draw(config, draws), config.pool_size);
+  const std::size_t hottest =
+      static_cast<std::size_t>(std::max_element(freq.begin(), freq.end()) -
+                               freq.begin());
+  // Frequencies stay zipfian (hashing permutes, it does not flatten) ...
+  EXPECT_GT(freq[hottest], draws / 10);
+  // ... but the hottest item is no longer index 0 (Fnv64(0) % 128 != 0).
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(RequestStreamTest, HotShiftRotatesTheHotSet) {
+  WorkloadConfig config;
+  config.kind = MixKind::kHotShift;
+  config.pool_size = 16;
+  config.shift_every = 1000;
+  config.shift_step = 8;
+  auto stream = RequestStream::Make(config);
+  ASSERT_TRUE(stream.ok());
+  auto TopOfWindow = [&] {
+    std::vector<std::size_t> freq(config.pool_size, 0);
+    for (std::size_t i = 0; i < 1000; ++i) ++freq[stream->Next()];
+    return static_cast<std::size_t>(
+        std::max_element(freq.begin(), freq.end()) - freq.begin());
+  };
+  // Rank 0 dominates each window; the rotation moves it by shift_step.
+  EXPECT_EQ(TopOfWindow(), 0u);
+  EXPECT_EQ(TopOfWindow(), 8u);
+  EXPECT_EQ(TopOfWindow(), 0u);  // wrapped around
+}
+
+TEST(RequestStreamTest, ReadLatestConcentratesBehindTheMovingHead) {
+  WorkloadConfig config;
+  config.kind = MixKind::kReadLatest;
+  config.pool_size = 64;
+  config.advance_every = 4;
+  auto stream = RequestStream::Make(config);
+  ASSERT_TRUE(stream.ok());
+  std::size_t head = 0;
+  double total_distance = 0.0;
+  const std::size_t draws = 8000;
+  for (std::size_t i = 1; i <= draws; ++i) {
+    const std::size_t idx = stream->Next();
+    if (i % config.advance_every == 0) head = (head + 1) % config.pool_size;
+    // Circular distance behind the head this draw saw.
+    total_distance += static_cast<double>(
+        (head + config.pool_size - idx) % config.pool_size);
+  }
+  // Zipf-over-recency keeps the mean distance well under uniform's ~32.
+  EXPECT_LT(total_distance / draws, 16.0);
+}
+
+TEST(RequestStreamTest, MakeValidatesConfig) {
+  WorkloadConfig config;
+  config.pool_size = 0;
+  EXPECT_FALSE(RequestStream::Make(config).ok());
+  config.pool_size = 10;
+  config.kind = MixKind::kZipfian;
+  config.theta = 1.0;
+  EXPECT_FALSE(RequestStream::Make(config).ok());
+  config.theta = -0.5;
+  EXPECT_FALSE(RequestStream::Make(config).ok());
+  config.theta = 0.99;
+  EXPECT_TRUE(RequestStream::Make(config).ok());
+  // Round-robin ignores theta entirely.
+  config.kind = MixKind::kRoundRobin;
+  config.theta = 7.0;
+  EXPECT_TRUE(RequestStream::Make(config).ok());
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram hist;
+  for (std::uint64_t v = 0; v < 100; ++v) hist.Record(v);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 99u);
+  EXPECT_EQ(hist.ValueAtQuantile(0.5), 49u);
+  EXPECT_EQ(hist.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(hist.ValueAtQuantile(1.0), 99u);
+  EXPECT_NEAR(hist.Mean(), 49.5, 1e-9);
+}
+
+TEST(LatencyHistogramTest, LargeValuesWithinRelativeError) {
+  LatencyHistogram hist;
+  const std::uint64_t value = 123456789;  // ~123 ms in ns
+  for (int i = 0; i < 10; ++i) hist.Record(value);
+  const std::uint64_t got = hist.ValueAtQuantile(0.99);
+  EXPECT_GE(got, value);
+  EXPECT_LE(static_cast<double>(got),
+            static_cast<double>(value) * (1.0 + 1.0 / 64.0));
+}
+
+TEST(LatencyHistogramTest, BucketMappingIsMonotoneAndConsistent) {
+  std::size_t prev_index = 0;
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{255}, std::uint64_t{256},
+        std::uint64_t{100000}, std::uint64_t{1} << 40,
+        (std::uint64_t{1} << 40) + 12345}) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(index, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(index, prev_index);
+    // The value maps into a bucket whose upper bound covers it.
+    EXPECT_LE(v, LatencyHistogram::BucketUpperBound(index));
+    // ... and the upper bound maps back to the same bucket.
+    EXPECT_EQ(LatencyHistogram::BucketIndex(
+                  LatencyHistogram::BucketUpperBound(index)),
+              index);
+    prev_index = index;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeAndResetBehave) {
+  LatencyHistogram a, b;
+  a.Record(10);
+  a.Record(2000);
+  b.Record(50);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 2000u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotone) {
+  LatencyHistogram hist;
+  util::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    hist.Record(rng.NextUint64(10'000'000));
+  }
+  std::uint64_t prev = 0;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t v = hist.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(hist.ValueAtQuantile(1.0), hist.max());
+}
+
+TEST(OpenLoopDriverTest, FixedIntervalOffsetsAreExact) {
+  OpenLoopOptions options;
+  options.target_qps = 2000.0;
+  options.total_requests = 100;
+  options.poisson = false;
+  const auto offsets = OpenLoopDriver::ArrivalOffsetsNs(options);
+  ASSERT_EQ(offsets.size(), 100u);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(offsets[i], i * 500000u);  // 0.5 ms apart
+  }
+}
+
+TEST(OpenLoopDriverTest, PoissonOffsetsDeterministicMonotoneRightMean) {
+  OpenLoopOptions options;
+  options.target_qps = 10000.0;
+  options.total_requests = 4000;
+  options.poisson = true;
+  options.seed = 5;
+  const auto a = OpenLoopDriver::ArrivalOffsetsNs(options);
+  const auto b = OpenLoopDriver::ArrivalOffsetsNs(options);
+  EXPECT_EQ(a, b);
+  options.seed = 6;
+  EXPECT_NE(OpenLoopDriver::ArrivalOffsetsNs(options), a);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+  // Mean gap ≈ 1/qps = 100 µs.
+  const double mean_gap_ns =
+      static_cast<double>(a.back()) / static_cast<double>(a.size() - 1);
+  EXPECT_NEAR(mean_gap_ns, 100000.0, 20000.0);
+}
+
+TEST(OpenLoopDriverTest, RunCountsOutcomesAndRecordsLatencies) {
+  OpenLoopOptions options;
+  options.target_qps = 20000.0;
+  options.total_requests = 400;
+  options.poisson = false;
+  options.max_clients = 8;
+  const OpenLoopResult result =
+      OpenLoopDriver::Run(options, [](std::size_t i) {
+        if (i % 4 == 1) return IssueOutcome::kShed;
+        if (i % 400 == 7) return IssueOutcome::kError;
+        return IssueOutcome::kOk;
+      });
+  EXPECT_EQ(result.issued, 400u);
+  EXPECT_EQ(result.shed, 100u);
+  EXPECT_EQ(result.errors, 1u);
+  EXPECT_EQ(result.ok, 299u);
+  EXPECT_EQ(result.latency_ns.count(), result.ok);
+  EXPECT_GT(result.wall_ms, 0.0);
+  EXPECT_GT(result.achieved_qps, 0.0);
+}
+
+}  // namespace
+}  // namespace metablink::load

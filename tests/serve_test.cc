@@ -491,6 +491,199 @@ TEST_F(ServeTest, EightThreadHammer) {
   }
 }
 
+// ---- Admission control & backpressure --------------------------------------
+
+TEST_F(ServeTest, BoundedQueueRejectNewIsDeterministic) {
+  // A scheduler that cannot flush (huge batch, far-off deadline) lets the
+  // test fill the queue to exactly max_queue, making the admission
+  // decision deterministic: the next Link must be rejected.
+  ServerOptions opts;
+  opts.retrieve_k = 4;
+  opts.max_batch = 64;
+  opts.flush_deadline_us = 10'000'000;  // drained at shutdown, not by timer
+  opts.max_queue = 3;
+  opts.shed_policy = LoadShedPolicy::kRejectNew;
+  auto server =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "target", opts);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> ok_count{0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      const auto& ex = split_.test[i];
+      auto got =
+          (*server)->Link(ex.mention, ex.left_context, ex.right_context, 3);
+      if (got.ok()) ok_count.fetch_add(1);
+    });
+    // Admit strictly one at a time so the fill order is known.
+    while ((*server)->Stats().queue_depth < i + 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const auto& extra = split_.test[5];
+  auto refused = (*server)->Link(extra.mention, extra.left_context,
+                                 extra.right_context, 3);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kUnavailable);
+
+  const ServerStats before = (*server)->Stats();
+  EXPECT_EQ(before.accepted, 3u);
+  EXPECT_EQ(before.rejected, 1u);
+  EXPECT_EQ(before.shed, 0u);
+  EXPECT_EQ(before.queue_depth, 3u);
+  EXPECT_EQ(before.queue_depth_high_water, 3u);
+  EXPECT_EQ(before.in_flight, 0u);
+  EXPECT_EQ(before.requests, 0u);
+  EXPECT_GT(before.oldest_wait_us, 0.0);
+
+  // Shutdown drains the queue: every admitted request still completes.
+  server->reset();
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok_count.load(), 3u);
+}
+
+TEST_F(ServeTest, BoundedQueueDropOldestShedsTheOldest) {
+  ServerOptions opts;
+  opts.retrieve_k = 4;
+  opts.max_batch = 64;
+  opts.flush_deadline_us = 10'000'000;
+  opts.max_queue = 3;
+  opts.shed_policy = LoadShedPolicy::kDropOldest;
+  auto server =
+      LinkingServer::Create(pipeline_->bi_encoder(), pipeline_->cross_encoder(),
+                            &corpus_->kb, "target", opts);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<std::thread> clients;
+  std::vector<util::Status> statuses(4, util::Status::OK());
+  for (std::size_t i = 0; i < 4; ++i) {
+    clients.emplace_back([&, i] {
+      const auto& ex = split_.test[i];
+      auto got =
+          (*server)->Link(ex.mention, ex.left_context, ex.right_context, 3);
+      statuses[i] = got.status();
+    });
+    if (i < 3) {
+      while ((*server)->Stats().queue_depth < i + 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  // The fourth arrival evicted the first-enqueued request, which completes
+  // with kUnavailable immediately — before any batch runs.
+  clients[0].join();
+  EXPECT_EQ(statuses[0].code(), util::StatusCode::kUnavailable);
+
+  const ServerStats before = (*server)->Stats();
+  EXPECT_EQ(before.accepted, 4u);
+  EXPECT_EQ(before.rejected, 0u);
+  EXPECT_EQ(before.shed, 1u);
+  EXPECT_EQ(before.queue_depth, 3u);
+  EXPECT_EQ(before.requests, 0u);
+
+  server->reset();
+  for (std::size_t i = 1; i < 4; ++i) {
+    clients[i].join();
+    EXPECT_TRUE(statuses[i].ok()) << "client " << i << ": " << statuses[i];
+  }
+}
+
+TEST_F(ServeTest, UnboundedAdmissionPathIsByteIdentical) {
+  // max_queue=0 must serve exactly like a bound that never triggers: the
+  // admission bookkeeping cannot perturb responses.
+  ServerOptions unbounded;
+  unbounded.retrieve_k = 8;
+  ServerOptions bounded = unbounded;
+  bounded.max_queue = std::size_t{1} << 20;
+  auto a = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", unbounded);
+  auto b = LinkingServer::Create(pipeline_->bi_encoder(),
+                                 pipeline_->cross_encoder(), &corpus_->kb,
+                                 "target", bounded);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectSameServing(a->get(), b->get(), 8);
+  const ServerStats sa = (*a)->Stats();
+  const ServerStats sb = (*b)->Stats();
+  for (const ServerStats* s : {&sa, &sb}) {
+    EXPECT_EQ(s->accepted, 8u);
+    EXPECT_EQ(s->rejected, 0u);
+    EXPECT_EQ(s->shed, 0u);
+    EXPECT_EQ(s->requests, 8u);
+    EXPECT_EQ(s->queue_depth, 0u);
+    EXPECT_EQ(s->in_flight, 0u);
+  }
+}
+
+TEST_F(ServeTest, OverloadHammerStatsReconcile) {
+  // 8 threads hammer a 2-deep queue served one request at a time, so
+  // shedding fires constantly. Under METABLINK_SANITIZE=thread this vets
+  // the admission path's locking; in every build the books must balance:
+  // every attempt is accepted or rejected, every accepted request is
+  // completed or shed, and the caller-visible outcomes match the counters
+  // exactly.
+  for (const LoadShedPolicy policy :
+       {LoadShedPolicy::kRejectNew, LoadShedPolicy::kDropOldest}) {
+    ServerOptions opts;
+    opts.retrieve_k = 4;
+    opts.max_batch = 1;
+    opts.flush_deadline_us = 0;
+    opts.max_queue = 2;
+    opts.shed_policy = policy;
+    opts.cache_capacity = 16;
+    auto server = LinkingServer::Create(pipeline_->bi_encoder(),
+                                        pipeline_->cross_encoder(),
+                                        &corpus_->kb, "target", opts);
+    ASSERT_TRUE(server.ok());
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 25;
+    std::atomic<std::size_t> ok_count{0};
+    std::atomic<std::size_t> unavailable{0};
+    std::atomic<std::size_t> other{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t r = 0; r < kPerThread; ++r) {
+          const auto& ex = split_.test[(t + 3 * r) % 10];
+          auto got = (*server)->Link(ex.mention, ex.left_context,
+                                     ex.right_context, 3);
+          if (got.ok()) {
+            ok_count.fetch_add(1);
+          } else if (got.status().code() == util::StatusCode::kUnavailable) {
+            unavailable.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    const ServerStats stats = (*server)->Stats();
+    EXPECT_EQ(other.load(), 0u);
+    EXPECT_EQ(stats.accepted + stats.rejected, kThreads * kPerThread);
+    EXPECT_EQ(stats.accepted, stats.requests + stats.shed);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_EQ(ok_count.load(), stats.requests);
+    EXPECT_EQ(unavailable.load(), stats.rejected + stats.shed);
+    EXPECT_EQ(stats.rerank_exited + stats.rerank_distilled + stats.rerank_full,
+              stats.requests);
+    EXPECT_LE(stats.queue_depth_high_water, opts.max_queue);
+    // The whole point of the bound: overload actually shed something.
+    EXPECT_GT(stats.rejected + stats.shed, 0u);
+    if (policy == LoadShedPolicy::kRejectNew) {
+      EXPECT_EQ(stats.shed, 0u);
+    } else {
+      EXPECT_EQ(stats.rejected, 0u);
+    }
+  }
+}
+
 TEST_F(ServeTest, CreateValidatesInputs) {
   EXPECT_FALSE(LinkingServer::Create(nullptr, pipeline_->cross_encoder(),
                                      &corpus_->kb, "target")

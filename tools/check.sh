@@ -34,6 +34,12 @@
 #                   bit-for-bit, deterministic PQ rebuild, PQ marginal
 #                   bytes/entity <= 25% of int8, int8 entry dispatching
 #                   to the exact scan below the crossover)
+#  11. traffic    — bench_traffic --smoke from stage 1's tree: the load
+#                   subsystem contracts (generator determinism across
+#                   runs/seeds, Zipf skew + LRU hit-rate ordering,
+#                   open-loop pacing sanity, max_queue=0 byte identity,
+#                   and both shed policies reconciling their admission
+#                   ledgers under an 8-thread hammer)
 #
 # Fails fast: the first failing stage stops the run; a summary table of
 # per-stage PASS/FAIL/SKIP status is always printed on exit.
@@ -45,7 +51,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval cascade pq)
+STAGES=(default asan-ubsan tsan clang-tidy graphlint serving checkpoint retrieval cascade pq traffic)
 declare -A STATUS
 for s in "${STAGES[@]}"; do STATUS[$s]="not run"; done
 
@@ -154,6 +160,19 @@ echo "== stage: pq =="
 ./build-check-default/bench/bench_retrieval --pq-smoke /tmp/metablink-smoke-pq.json \
   || fail pq
 STATUS[pq]="PASS"
+
+echo
+echo "== stage: traffic =="
+# Reduced traffic-harness run: workload generators must be deterministic
+# per seed and differ across seeds, Zipf(0.99) must out-hit uniform on an
+# equal-size LRU, the open-loop driver must pace its no-op target, an
+# unbounded server must answer byte-identically to a never-full bounded
+# one, and both shed policies must reconcile accepted/rejected/shed with
+# completed requests under an 8-thread overload hammer (exit 1 on any
+# violation), without the full-scale latency-under-load sweep.
+./build-check-default/bench/bench_traffic --smoke /tmp/metablink-smoke-traffic.json \
+  || fail traffic
+STATUS[traffic]="PASS"
 
 echo
 echo "check.sh: all stages passed (or were skipped)"
